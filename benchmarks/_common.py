@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's figures/analyses as a
+plain-text table: printed to stdout (visible with ``pytest -s``) and written
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
+artifacts. The pytest-benchmark fixture wraps each full experiment once
+(``pedantic(rounds=1)``) — the interesting output is the table, the timing
+is just a bonus.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n[written to benchmarks/results/{name}.txt]")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark fixture and return its
+    result (no warmup/calibration reruns of a multi-second experiment)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,160 @@
+"""DETECT — the §3 failure-detection trade-off on the full GulfStream stack.
+
+"The frequency of heartbeats (t_hb) and the sensitivity of the failure
+detector (the value of k) are adjusted to trade off between network load,
+timeliness of detection, and the probability of a false failure report."
+
+Three tables:
+
+1. detection latency (crash → GSC adapter_failed notification) vs
+   (t_hb, k);
+2. false failure reports under loss, across the §3 design ladder:
+   one-strike unidirectional → k-miss → +loopback/probe verification →
+   bidirectional consensus (Figure 4);
+3. network load vs t_hb (the other side of the trade-off).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.farm.builder import build_testbed
+from repro.gulfstream.params import GSParams
+from repro.net.loss import LinkQuality
+from repro.node.osmodel import OSParams
+
+from _common import emit, once
+
+BASE = GSParams(beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+                probe_timeout=0.5, orphan_timeout=4.0, takeover_stagger=0.5,
+                suspect_retry_interval=0.5)
+
+
+def detection_latency(params: GSParams, seed: int) -> float:
+    farm = build_testbed(10, seed=seed, params=params,
+                         os_params=OSParams.fast(), adapters_per_node=2)
+    farm.start()
+    assert farm.run_until_stable(timeout=120.0) is not None
+    t0 = farm.sim.now
+    farm.hosts["node-04"].crash()
+    farm.sim.run(until=t0 + 60.0)
+    times = [n.time for n in farm.bus.history if n.kind == "node_failed"]
+    assert times, "crash never detected"
+    return times[0] - t0
+
+
+def run_latency_sweep():
+    rows = []
+    for t_hb in (0.5, 1.0, 2.0):
+        for k in (1, 2, 3):
+            lat = np.mean([
+                detection_latency(BASE.derive(hb_interval=t_hb, hb_miss_threshold=k),
+                                  seed=10 * int(t_hb * 2) + k + s)
+                for s in range(3)
+            ])
+            # analytic: suspicion after (k+~0.5)*t_hb, then probe
+            # verification (1 probe + retries worst case) and recommit
+            rows.append({"t_hb": t_hb, "k": k, "detect_s": float(lat),
+                         "suspicion_floor_s": (k + 0.5) * t_hb})
+    return rows
+
+
+def test_detection_latency_tradeoff(benchmark):
+    rows = once(benchmark, run_latency_sweep)
+    table = format_table(
+        rows,
+        columns=["t_hb", "k", "detect_s", "suspicion_floor_s"],
+        title=(
+            "Crash -> GSC node_failed latency vs heartbeat parameters (§3)\n"
+            "latency grows with k*t_hb plus verification and recommit cost"
+        ),
+    )
+    emit("detection_latency", table)
+    by = {(r["t_hb"], r["k"]): r["detect_s"] for r in rows}
+    # slower heartbeats detect slower; higher k detects slower
+    assert by[(2.0, 2)] > by[(0.5, 2)]
+    assert by[(1.0, 3)] > by[(1.0, 1)]
+    # everything lands above the analytic suspicion floor
+    for r in rows:
+        assert r["detect_s"] > r["suspicion_floor_s"]
+
+
+LADDER = [
+    ("uni, k=1, no verify", dict(hb_mode="unidirectional", hb_miss_threshold=1,
+                                 verify_probe=False, consensus=False)),
+    ("uni, k=2, no verify", dict(hb_mode="unidirectional", hb_miss_threshold=2,
+                                 verify_probe=False, consensus=False)),
+    ("bidi consensus, no probe", dict(hb_mode="bidirectional", hb_miss_threshold=2,
+                                      verify_probe=False, consensus=True)),
+    ("bidi + leader probe (GS)", dict(hb_mode="bidirectional", hb_miss_threshold=2,
+                                      verify_probe=True, consensus=True)),
+]
+
+
+def false_reports(params: GSParams, seed: int) -> int:
+    farm = build_testbed(12, seed=seed, params=params, os_params=OSParams.fast(),
+                         adapters_per_node=2,
+                         quality=LinkQuality(loss_probability=0.05))
+    farm.start()
+    # best effort: the weakest schemes may never fully stabilize under
+    # loss (their own false removals keep the membership churning) — that
+    # is part of the result, so measure a fixed window regardless
+    farm.run_until_stable(timeout=200.0)
+    t0 = farm.sim.now
+    farm.sim.run(until=t0 + 120.0)
+    # nobody actually failed: every failure notification is false
+    return sum(1 for n in farm.bus.history
+               if n.kind == "adapter_failed" and n.time > t0)
+
+
+def run_false_positive_ladder():
+    rows = []
+    for label, overrides in LADDER:
+        params = BASE.derive(hb_interval=1.0, **overrides)
+        fps = [false_reports(params, seed=101 + s) for s in range(3)]
+        rows.append({"scheme": label, "false_reports_120s": float(np.mean(fps))})
+    return rows
+
+
+def test_false_report_ladder(benchmark):
+    rows = once(benchmark, run_false_positive_ladder)
+    table = format_table(
+        rows,
+        columns=["scheme", "false_reports_120s"],
+        title=(
+            "False failure reports in 120 s at 5% loss, nobody actually down\n"
+            "the §3 design ladder: each mechanism cuts false reports"
+        ),
+    )
+    emit("detection_false_reports", table)
+    vals = [r["false_reports_120s"] for r in rows]
+    # one-strike is the worst; the full GulfStream scheme is clean
+    assert vals[0] > 0
+    assert vals[0] >= vals[1] >= vals[3]
+    assert vals[3] == 0.0
+
+
+def run_load_vs_interval():
+    rows = []
+    for t_hb in (0.25, 0.5, 1.0, 2.0, 4.0):
+        farm = build_testbed(16, seed=9, params=BASE.derive(hb_interval=t_hb),
+                             os_params=OSParams.fast(), adapters_per_node=2)
+        farm.start()
+        assert farm.run_until_stable(timeout=120.0) is not None
+        seg = farm.fabric.segments[10]
+        f0 = seg.frames_sent
+        t0 = farm.sim.now
+        farm.sim.run(until=t0 + 30.0)
+        rows.append({"t_hb": t_hb, "frames_per_sec": (seg.frames_sent - f0) / 30.0})
+    return rows
+
+
+def test_load_vs_interval(benchmark):
+    rows = once(benchmark, run_load_vs_interval)
+    table = format_table(
+        rows,
+        columns=["t_hb", "frames_per_sec"],
+        title="Segment load vs heartbeat interval (16-member AMG)",
+    )
+    emit("detection_load_vs_interval", table)
+    f = {r["t_hb"]: r["frames_per_sec"] for r in rows}
+    assert f[0.25] > 3 * f[1.0] > 3 * f[4.0]

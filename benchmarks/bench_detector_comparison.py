@@ -1,0 +1,123 @@
+"""SCALE-AMG baselines — failure-detector design-space comparison (§4.2, §5).
+
+The paper positions GulfStream's ring against:
+
+* HACMP: "uses a form of heartbeating which scales poorly" → all-pairs;
+* the "randomized distributed pinging algorithm" of [9] (Gupta, Chandra &
+  Goldszmidt): "protocols in this category impose a much lower load on the
+  network compared to heartbeating protocols that guarantee the similar
+  detection time for failures and probability of mistaken detection";
+* a centralized poller (the scaling worry §4.2 raises for any central
+  component).
+
+One table: per-segment load, detection latency, and false positives under
+5% loss, for each scheme at two group sizes.
+"""
+
+from repro.analysis import format_table
+from repro.detectors import (
+    AllPairsDetector,
+    CentralPollDetector,
+    DetectorHarness,
+    DetectorParams,
+    GossipDetector,
+    RingDetector,
+    analysis,
+)
+from repro.net.loss import LinkQuality
+
+from _common import emit, once
+
+SCHEMES = [
+    ("ring (GulfStream)", RingDetector),
+    ("all-pairs (HACMP)", AllPairsDetector),
+    ("random ping [9]", GossipDetector),
+    ("central poll", CentralPollDetector),
+]
+
+
+def evaluate(cls, n: int, seed: int) -> dict:
+    params = DetectorParams(interval=1.0, miss_threshold=2, timeout=0.5, proxies=3)
+    # load + detection on a clean network
+    h = DetectorHarness(n, cls, params, seed=seed)
+    h.start()
+    h.run(until=30)
+    load = h.load_stats()["frames_per_sec"]
+    ip = h.crash(n // 2)
+    h.run(until=90)
+    detect = h.detection_time(ip)
+    # false positives on a 5%-lossy network
+    h2 = DetectorHarness(n, cls, params, seed=seed + 1,
+                         quality=LinkQuality(loss_probability=0.05))
+    h2.start()
+    h2.run(until=120)
+    fp = len(h2.false_positives())
+    return {"frames_per_sec": load, "detect_s": detect, "false_pos_120s": fp}
+
+
+def run_comparison():
+    rows = []
+    for n in (16, 64):
+        for label, cls in SCHEMES:
+            r = evaluate(cls, n, seed=len(label))
+            rows.append({"members": n, "scheme": label, **r})
+    return rows
+
+
+def test_detector_comparison(benchmark):
+    rows = once(benchmark, run_comparison)
+    table = format_table(
+        rows,
+        columns=["members", "scheme", "frames_per_sec", "detect_s", "false_pos_120s"],
+        title=(
+            "Failure-detector comparison (t=1 s, k=2, 5% loss for FP column)\n"
+            "paper: ring load linear, all-pairs quadratic, random pinging "
+            "low-load with comparable detection"
+        ),
+    )
+    emit("detector_comparison", table)
+    by = {(r["members"], r["scheme"]): r for r in rows}
+    # all-pairs blows up quadratically; ring stays linear
+    ap_growth = by[(64, "all-pairs (HACMP)")]["frames_per_sec"] / by[(16, "all-pairs (HACMP)")]["frames_per_sec"]
+    ring_growth = by[(64, "ring (GulfStream)")]["frames_per_sec"] / by[(16, "ring (GulfStream)")]["frames_per_sec"]
+    assert ap_growth > 3 * ring_growth
+    # at 64 members, all-pairs costs an order of magnitude more than ring
+    assert (
+        by[(64, "all-pairs (HACMP)")]["frames_per_sec"]
+        > 10 * by[(64, "ring (GulfStream)")]["frames_per_sec"]
+    )
+    # random pinging: load comparable to the ring, detection within a few
+    # periods (the [9] claim)
+    assert by[(64, "random ping [9]")]["frames_per_sec"] < 2.5 * by[(64, "ring (GulfStream)")]["frames_per_sec"]
+    for n in (16, 64):
+        assert by[(n, "random ping [9]")]["detect_s"] < 10.0
+    # everyone detects the crash
+    assert all(r["detect_s"] is not None for r in rows)
+
+
+def run_scaling_curve():
+    rows = []
+    for n in (8, 16, 32, 64, 128):
+        row = {"members": n}
+        for label, cls in SCHEMES:
+            h = DetectorHarness(n, cls, DetectorParams(interval=1.0), seed=n)
+            h.start()
+            h.run(until=20)
+            row[label] = h.load_stats()["frames_per_sec"]
+        row["analytic ring"] = analysis.ring_load(n, 1.0)
+        row["analytic all-pairs"] = analysis.allpairs_load(n, 1.0)
+        rows.append(row)
+    return rows
+
+
+def test_detector_load_scaling_curve(benchmark):
+    rows = once(benchmark, run_scaling_curve)
+    table = format_table(
+        rows,
+        columns=["members"] + [label for label, _ in SCHEMES]
+        + ["analytic ring", "analytic all-pairs"],
+        title="Segment frames/sec vs group size, by detector scheme",
+    )
+    emit("detector_load_scaling", table)
+    last = rows[-1]
+    assert last["all-pairs (HACMP)"] > 50 * last["ring (GulfStream)"] / 2

@@ -1,0 +1,140 @@
+"""SCALE-AMG / FIG4 — heartbeat network load vs AMG size (§3, §4.2).
+
+Paper: "the key limiting factor for failure detection scalability is the
+frequency of heartbeating messages"; the ring keeps per-segment load linear
+in members (Figure 4 shows the bidirectional ring), and §4.2 proposes
+subgroups so that "the performance of GulfStream is not degraded in the
+event of more than one failure at a time".
+
+Measured here on the full GulfStream stack (not the standalone detectors):
+
+* steady-state frames/sec on one segment for flat-ring vs subgroup AMGs of
+  growing size — both linear, subgroups adding only the low-frequency poll;
+* leader recommit work after simultaneous failures — with subgroups the
+  disruption stays bounded.
+"""
+
+from repro.analysis import format_table
+from repro.detectors import analysis
+from repro.farm.builder import build_testbed
+from repro.gulfstream.params import GSParams
+from repro.node.osmodel import OSParams
+
+from _common import emit, once
+
+MEASURE_WINDOW = 30.0
+
+
+def steady_state_load(n_nodes: int, subgroup_size, seed: int) -> dict:
+    params = GSParams(
+        beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+        hb_interval=1.0, subgroup_size=subgroup_size, subgroup_poll_interval=10.0,
+    )
+    farm = build_testbed(n_nodes, seed=seed, params=params,
+                         os_params=OSParams.fast(), adapters_per_node=2)
+    farm.start()
+    stable = farm.run_until_stable(timeout=120.0)
+    assert stable is not None
+    seg = farm.fabric.segments[10]
+    f0, b0 = seg.frames_sent, seg.bytes_sent
+    t0 = farm.sim.now
+    farm.sim.run(until=t0 + MEASURE_WINDOW)
+    return {
+        "frames_per_sec": (seg.frames_sent - f0) / MEASURE_WINDOW,
+        "bytes_per_sec": (seg.bytes_sent - b0) / MEASURE_WINDOW,
+    }
+
+
+def run_load_sweep():
+    rows = []
+    for n in (8, 16, 32, 64):
+        flat = steady_state_load(n, None, seed=n)
+        sub = steady_state_load(n, 8, seed=n)
+        rows.append(
+            {
+                "members": n,
+                "flat_fps": flat["frames_per_sec"],
+                "subgroup_fps": sub["frames_per_sec"],
+                "analytic_ring_fps": analysis.ring_load(n, 1.0, bidirectional=True)
+                # leaders also keep beaconing once per second (§2.1)
+                + 1.0,
+                "analytic_subgroup_fps": analysis.subgroup_load(n, 8, 1.0, 10.0) + 1.0,
+            }
+        )
+    return rows
+
+
+def test_heartbeat_load_linear(benchmark):
+    rows = once(benchmark, run_load_sweep)
+    table = format_table(
+        rows,
+        columns=["members", "flat_fps", "subgroup_fps", "analytic_ring_fps",
+                 "analytic_subgroup_fps"],
+        title=(
+            "Steady-state segment load vs AMG size (bidirectional ring, "
+            "t_hb = 1 s; includes the leader's 1/s beacon)\n"
+            "paper: ring heartbeating keeps load linear in members"
+        ),
+    )
+    emit("heartbeat_load", table)
+    # linear: doubling members ~doubles frames
+    f = [r["flat_fps"] for r in rows]
+    assert 1.6 < f[1] / f[0] < 2.4
+    assert 1.6 < f[3] / f[2] < 2.4
+    # simulation matches the analytic load within 15%
+    for r in rows:
+        assert abs(r["flat_fps"] - r["analytic_ring_fps"]) / r["analytic_ring_fps"] < 0.15
+        assert abs(r["subgroup_fps"] - r["analytic_subgroup_fps"]) / r["analytic_subgroup_fps"] < 0.15
+
+
+def run_multi_failure():
+    """§4.2's motivation for subgroups: concurrent failures destabilize a
+    big flat ring's leader; subgroups bound the blast radius."""
+    rows = []
+    for subgroup_size, label in ((None, "flat ring"), (8, "subgroups of 8")):
+        params = GSParams(
+            beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+            hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
+            takeover_stagger=0.5, subgroup_size=subgroup_size,
+            subgroup_poll_interval=5.0,
+        )
+        farm = build_testbed(32, seed=3, params=params,
+                             os_params=OSParams.fast(), adapters_per_node=2)
+        farm.start()
+        assert farm.run_until_stable(timeout=120.0) is not None
+        t0 = farm.sim.now
+        c0 = farm.sim.trace.count("gs.2pc.commit")
+        # four simultaneous failures spread around the ring
+        for i in (3, 11, 19, 27):
+            farm.hosts[f"node-{i:02d}"].crash()
+        farm.sim.run(until=t0 + 40.0)
+        leader = farm.leader_of_vlan(10)
+        rows.append(
+            {
+                "scheme": label,
+                "recommits": farm.sim.trace.count("gs.2pc.commit") - c0,
+                "final_size": leader.view.size if leader and leader.view else 0,
+                "suspect_msgs": sum(
+                    1 for r in []
+                ) or farm.sim.trace.count("gs.hb.suspect"),
+            }
+        )
+    return rows
+
+
+def test_multi_failure_stability(benchmark):
+    rows = once(benchmark, run_multi_failure)
+    table = format_table(
+        rows,
+        columns=["scheme", "recommits", "final_size"],
+        title=(
+            "Four simultaneous node failures in a 32-member AMG\n"
+            "paper §4.2: subgroups keep concurrent failures from degrading "
+            "the group"
+        ),
+    )
+    emit("heartbeat_multi_failure", table)
+    # both schemes converge to the correct 28 survivors on both vlans'
+    # groups (we check the measured one)
+    for r in rows:
+        assert r["final_size"] == 28, r

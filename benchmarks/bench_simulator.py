@@ -1,0 +1,88 @@
+"""Simulator-substrate throughput (not a paper figure — an engineering
+sanity check that the substrate can carry the paper-scale experiments).
+
+The guides' rule is "no optimization without measuring": these benches are
+the measurement. Sweeping Figure 5 needs dozens of 55-node discoveries;
+each must complete in ~a second of wall-clock for the suite to stay usable.
+"""
+
+import pytest
+
+from repro.farm.builder import build_testbed
+from repro.gulfstream.params import GSParams
+from repro.sim.engine import Simulator
+
+
+def test_event_loop_throughput(benchmark):
+    """Raw schedule+dispatch rate of the kernel."""
+
+    def run():
+        sim = Simulator()
+        count = 200_000
+
+        def noop():
+            pass
+
+        for i in range(count):
+            sim.schedule(float(i % 100) * 0.001, noop)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run)
+    assert executed == 200_000
+
+
+def test_timer_churn(benchmark):
+    """Many interleaved periodic timers (the heartbeat workload shape)."""
+    from repro.sim.process import Timer
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        timers = [
+            Timer(sim, 1.0, tick, initial_delay=i * 0.01) for i in range(200)
+        ]
+        sim.run(until=100.0)
+        for t in timers:
+            t.cancel()
+        return fired[0]
+
+    fired = benchmark(run)
+    assert fired == pytest.approx(200 * 100, rel=0.02)
+
+
+def test_full_discovery_55_nodes(benchmark):
+    """One paper-scale discovery (55 nodes x 3 adapters), wall-clock."""
+
+    def run():
+        farm = build_testbed(55, seed=1, params=GSParams(beacon_duration=5.0))
+        farm.start()
+        stable = farm.run_until_stable(timeout=120.0)
+        assert stable is not None
+        return len(farm.gsc().adapters)
+
+    adapters = benchmark(run)
+    assert adapters == 165
+
+
+def test_steady_state_hour_32_members(benchmark):
+    """One simulated hour of steady-state heartbeating, 32-member AMG."""
+
+    def run():
+        farm = build_testbed(
+            32, seed=2,
+            params=GSParams(beacon_duration=2.0, amg_stable_wait=2.0,
+                            gsc_stable_wait=4.0),
+            adapters_per_node=1,
+        )
+        farm.start()
+        assert farm.run_until_stable(timeout=60.0) is not None
+        farm.sim.run(until=farm.sim.now + 3600.0)
+        return farm.sim.events_executed
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events > 100_000

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Failure-detector face-off: the §4.2/§5 design space in one run.
+
+Compares GulfStream's ring heartbeating against the alternatives the paper
+cites — all-pairs (HACMP), the randomized pinging of Gupta et al. [9], and
+a centralized poller — on load, detection time, and false positives under
+loss, next to the closed-form predictions.
+
+Run:  python examples/detector_faceoff.py
+"""
+
+from repro.analysis import format_table
+from repro.detectors import (
+    AllPairsDetector,
+    CentralPollDetector,
+    DetectorHarness,
+    DetectorParams,
+    GossipDetector,
+    RingDetector,
+    analysis,
+)
+from repro.net.loss import LinkQuality
+
+SCHEMES = [
+    ("ring (GulfStream §3)", RingDetector,
+     lambda n, t: analysis.ring_load(n, t)),
+    ("all-pairs (HACMP §5)", AllPairsDetector,
+     lambda n, t: analysis.allpairs_load(n, t)),
+    ("random ping ([9] §4.2)", GossipDetector,
+     lambda n, t: analysis.gossip_load(n, t)),
+    ("central poll", CentralPollDetector,
+     lambda n, t: analysis.central_poll_load(n, t)),
+]
+
+
+def main() -> None:
+    n, interval = 32, 1.0
+    params = DetectorParams(interval=interval, miss_threshold=2, timeout=0.5)
+    rows = []
+    for label, cls, predict in SCHEMES:
+        # clean run: load + detection latency
+        h = DetectorHarness(n, cls, params, seed=5)
+        h.start()
+        h.run(until=30)
+        load = h.load_stats()["frames_per_sec"]
+        ip = h.crash(n // 3)
+        h.run(until=90)
+        detect = h.detection_time(ip)
+        # lossy run: false positives
+        h2 = DetectorHarness(n, cls, params, seed=6,
+                             quality=LinkQuality(loss_probability=0.05))
+        h2.start()
+        h2.run(until=120)
+        rows.append({
+            "scheme": label,
+            "frames_per_sec": load,
+            "analytic": predict(n, interval),
+            "detect_s": detect,
+            "false_pos@5%loss": len(h2.false_positives()),
+        })
+    print(format_table(
+        rows,
+        columns=["scheme", "frames_per_sec", "analytic", "detect_s",
+                 "false_pos@5%loss"],
+        title=f"Failure detectors on one {n}-member segment (t={interval}s, k=2)",
+    ))
+    print(
+        "\nReading: the ring keeps load linear in members where all-pairs is\n"
+        "quadratic; random pinging matches the ring's load with slightly\n"
+        "slower (but bounded) detection — the §4.2 trade-offs, quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Failure storm: churn, a switch failure, and a network partition.
+
+Exercises the whole failure-detection and correlation surface of §3 on one
+farm: random node crash/restart churn, then a switch failure (inferred from
+its adapters, not observed directly), then a partition of a data VLAN that
+splits an AMG in two and merges back on heal.
+
+Run:  python examples/failure_storm.py
+"""
+
+from repro.farm.builder import FarmBuilder
+from repro.gulfstream import GSParams
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.node.faults import FaultInjector
+
+
+def groups_on_vlan(farm, vlan):
+    views = {}
+    for d in farm.daemons.values():
+        for p in d.protocols.values():
+            if (p.nic.port is not None and p.nic.port.vlan == vlan
+                    and p.view is not None and not p.host.crashed):
+                views.setdefault(str(p.view), []).append(p)
+    return views
+
+
+def main() -> None:
+    params = GSParams(
+        beacon_duration=3.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+        hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+        takeover_stagger=0.5, suspect_retry_interval=0.5,
+    )
+    b = FarmBuilder(seed=12, params=params).switches(3)
+    for i in range(10):
+        b.add_node(f"node-{i}", [1, 2], admin_eligible=(i < 2))
+    farm = b.finish()
+    farm.start()
+    stable = farm.run_until_stable(timeout=120.0)
+    gsc = farm.gsc()
+    print(f"10 nodes stable at t={stable:.1f}s; GSC on {farm.gsc_host().name}")
+
+    # -- phase 1: churn -------------------------------------------------
+    print("\n== phase 1: 90s of random crash/restart churn ==")
+    inj = FaultInjector(farm.sim, farm.hosts, mtbf=60.0, mttr=10.0)
+    inj.start()
+    t0 = farm.sim.now
+    farm.sim.run(until=t0 + 90.0)
+    inj.stop()
+    for h in farm.hosts.values():
+        if h.crashed:
+            h.restart()
+    farm.sim.run(until=farm.sim.now + 30.0)
+    print(f"crashes injected: {inj.crashes}, repairs: {inj.repairs}")
+    print(f"node_failed notifications: {farm.bus.count('node_failed')}, "
+          f"node_recovered: {farm.bus.count('node_recovered')}")
+    views = groups_on_vlan(farm, 2)
+    print(f"vlan-2 converged back to {len(views)} group(s) of "
+          f"{[len(v) for v in views]} members")
+
+    # -- phase 2: switch failure -----------------------------------------
+    print("\n== phase 2: switch failure inferred by correlation (§3) ==")
+    target = "switch-2"
+    wired = [n.name for n in farm.fabric.switches[target].attached_nics()]
+    print(f"failing {target} (adapters behind it: {wired})")
+    t1 = farm.sim.now
+    farm.fabric.switches[target].fail()
+    farm.sim.run(until=t1 + 30.0)
+    for note in farm.bus.history:
+        if note.time > t1 and note.kind in ("switch_failed", "node_failed"):
+            print(f"  {note}")
+    farm.fabric.switches[target].repair()
+    farm.sim.run(until=farm.sim.now + 60.0)
+    print(f"after repair: switch up? {gsc.switch_status(target)}")
+
+    # -- phase 3: partition -----------------------------------------------
+    print("\n== phase 3: partition of vlan 2, then heal (§2.1 merging) ==")
+    seg = farm.fabric.segments[2]
+    island = [farm.hosts[f"node-{i}"].adapters[1].ip for i in range(4)]
+    t2 = farm.sim.now
+    seg.partition([island])
+    farm.sim.run(until=t2 + 45.0)
+    views = groups_on_vlan(farm, 2)
+    print(f"during partition: {len(views)} independent AMGs, sizes "
+          f"{sorted(next(iter(v)).view.size for v in views.values())}")
+    seg.heal()
+    farm.sim.run(until=farm.sim.now + 60.0)
+    views = groups_on_vlan(farm, 2)
+    leaders = [p for vs in views.values() for p in vs if p.state is AdapterState.LEADER]
+    print(f"after heal: {len(views)} AMG of size "
+          f"{next(iter(views.values()))[0].view.size}, one leader: "
+          f"{leaders[0].nic.name}")
+
+    print(f"\nGSC is authoritative again: "
+          f"{sum(1 for h in farm.hosts.values() if gsc.node_status(h.name))}"
+          f"/{len(farm.hosts)} nodes up")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""The §4.2 extended reporting hierarchy: zone aggregators in action.
+
+The paper kept GulfStream Central centralized with "a wait and see
+attitude", noting its function "can be distributed" and the two-level
+hierarchy "could be extended". This example runs the same zoned farm twice
+— flat, then with per-zone report aggregators — under identical node churn,
+and shows the report-frame pressure at the central node dropping while
+GSC's conclusions stay identical.
+
+Run:  python examples/zone_hierarchy.py
+"""
+
+from repro.farm import build_zoned_farm
+from repro.gulfstream import GSParams
+from repro.node.faults import FaultInjector
+from repro.node.osmodel import OSParams
+
+PARAMS = GSParams(
+    beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+    hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
+    takeover_stagger=0.5,
+)
+
+
+def run(use_zones: bool) -> dict:
+    farm = build_zoned_farm(
+        n_zones=4, nodes_per_zone=5, vlans_per_zone=3, seed=99,
+        params=PARAMS, os_params=OSParams.fast(),
+        use_zones=use_zones, flush_interval=1.0,
+    )
+    farm.start()
+    stable = farm.run_until_stable(timeout=120.0)
+    gsc_daemon = next(d for d in farm.daemons.values() if d.is_gsc)
+    gsc = farm.gsc()
+    f0, r0 = gsc_daemon.report_frames_in, gsc.reports_received
+    servers = {k: h for k, h in farm.hosts.items() if k.startswith("z")}
+    inj = FaultInjector(farm.sim, servers, mtbf=90.0, mttr=12.0)
+    t0 = farm.sim.now
+    inj.start()
+    farm.sim.run(until=t0 + 150.0)
+    inj.stop()
+    return {
+        "stable": stable,
+        "adapters": len(gsc.adapters),
+        "groups": len(gsc.groups),
+        "churn": inj.crashes + inj.repairs,
+        "frames_at_gsc": gsc_daemon.report_frames_in - f0,
+        "logical_reports": gsc.reports_received - r0,
+        "node_failures_seen": farm.bus.count("node_failed"),
+        "fallbacks": farm.sim.trace.count("gs.zone.fallback"),
+    }
+
+
+def main() -> None:
+    print("farm: 4 zones x 5 nodes x 3 data VLANs + 2 management nodes")
+    print("identical churn, two hierarchies:\n")
+    flat = run(use_zones=False)
+    zoned = run(use_zones=True)
+    rows = [("2-level (paper prototype)", flat), ("3-level (zone aggregators)", zoned)]
+    header = f"{'hierarchy':<28}{'frames@GSC':>11}{'reports':>9}{'failures seen':>15}{'fallbacks':>11}"
+    print(header)
+    print("-" * len(header))
+    for label, r in rows:
+        print(f"{label:<28}{r['frames_at_gsc']:>11}{r['logical_reports']:>9}"
+              f"{r['node_failures_seen']:>15}{r['fallbacks']:>11}")
+    saving = 1 - zoned["frames_at_gsc"] / max(1, flat["frames_at_gsc"])
+    print(
+        f"\nSame churn ({flat['churn']} events), same logical information at "
+        f"GulfStream Central,\nbut {saving:.0%} fewer report frames at the "
+        "central node — the distribution benefit\nthe paper deferred, "
+        "measured. (Fallbacks are the acked aggregator hop\nre-routing "
+        "around aggregators that were themselves churned.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+``pip install -e .`` with modern setuptools requires the ``wheel`` package
+(PEP 660 editable builds); on fully offline hosts without wheel installed,
+``python setup.py develop`` provides an equivalent editable install.
+"""
+from setuptools import setup
+
+setup()

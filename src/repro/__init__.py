@@ -1,0 +1,35 @@
+"""GulfStream reproduction.
+
+A from-scratch Python implementation of *GulfStream — a System for Dynamic
+Topology Management in Multi-domain Server Farms* (Fakhouri, Goldszmidt,
+Kalantar, Pershing, Gupta; IEEE CLUSTER 2001), including the discrete-event
+simulation substrate standing in for the paper's 55-node switched-Ethernet
+testbed.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro.farm import build_testbed
+
+    farm = build_testbed(n_nodes=12, seed=1)   # 12 nodes x 3 adapters
+    farm.start()
+    t = farm.run_until_stable()                # Figure 5's quantity
+    gsc = farm.gsc()                           # GulfStream Central
+    print(t, len(gsc.adapters), len(gsc.groups))
+
+Packages:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel;
+* :mod:`repro.net` — switches, VLAN segments, adapters, SNMP console;
+* :mod:`repro.node` — hosts, OS scheduling-delay model, fault injection;
+* :mod:`repro.gulfstream` — the paper's system: discovery, AMGs,
+  heartbeating, GulfStream Central, reconfiguration;
+* :mod:`repro.detectors` — baseline failure detectors (all-pairs/HACMP,
+  randomized pinging, centralized polling);
+* :mod:`repro.farm` — multi-domain farm modelling and the Océano
+  controller;
+* :mod:`repro.analysis` — measurement harnesses for every experiment.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

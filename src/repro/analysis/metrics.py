@@ -1,0 +1,75 @@
+"""Message, load, and latency extraction.
+
+Helpers shared by the benchmarks: turn a finished run's trace counters,
+segment counters, and notification history into the numbers the paper's
+evaluation talks about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.trace import Trace
+
+__all__ = [
+    "detection_latencies",
+    "false_failure_reports",
+    "message_rates",
+    "segment_loads",
+]
+
+
+def message_rates(trace: Trace, elapsed: float, prefixes: Tuple[str, ...] = ("net.send",)) -> Dict[str, float]:
+    """Per-second rates of trace categories matching the given prefixes."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    out: Dict[str, float] = {}
+    for prefix in prefixes:
+        out[prefix] = trace.count_prefix(prefix) / elapsed
+    return out
+
+
+def segment_loads(fabric, elapsed: float) -> Dict[int, dict]:
+    """Per-VLAN frame/byte rates for a finished run."""
+    if elapsed <= 0:
+        raise ValueError("elapsed must be positive")
+    return {
+        vlan: {
+            "frames_per_sec": seg.frames_sent / elapsed,
+            "bytes_per_sec": seg.bytes_sent / elapsed,
+            "loss_fraction": (
+                seg.frames_lost / max(1, seg.frames_lost + seg.frames_delivered)
+            ),
+            "members": len(seg.members),
+        }
+        for vlan, seg in fabric.segments.items()
+    }
+
+
+def detection_latencies(
+    bus_history: List,
+    faults: Dict[str, float],
+    kind: str = "adapter_failed",
+) -> Dict[str, Optional[float]]:
+    """Fault-injection time → first matching notification latency.
+
+    ``faults`` maps subject (adapter IP string or node name) to the
+    simulated time the fault was injected.
+    """
+    out: Dict[str, Optional[float]] = {}
+    for subject, injected_at in faults.items():
+        hit = next(
+            (
+                n
+                for n in bus_history
+                if n.kind == kind and n.subject == subject and n.time >= injected_at
+            ),
+            None,
+        )
+        out[subject] = (hit.time - injected_at) if hit is not None else None
+    return out
+
+
+def false_failure_reports(bus_history: List, dead_subjects: set, kind: str = "adapter_failed") -> List:
+    """Failure notifications for subjects that were never actually failed."""
+    return [n for n in bus_history if n.kind == kind and n.subject not in dead_subjects]

@@ -1,0 +1,107 @@
+"""Time-to-stable measurement — Figure 5 and Equation 1.
+
+Equation 1 of the paper::
+
+    T = T_beacon + T_amg + T_gsc + delta
+
+where ``T`` is the time for GulfStream Central to form a stable view of the
+full network topology, the first three terms are configured waits, and
+``delta`` absorbs scheduling delays. The paper measured ``delta`` between 5
+and 6 seconds on the 55-node testbed and attributed it to (1) the beacon
+timer being set 1–2 s late, (2) point-to-point two-phase-commit cost, and
+(3) thread switching.
+
+:func:`measure_stability` runs one discovery on a fresh testbed and returns
+both the measurement and a decomposition of δ extracted from the trace, so
+``bench_eq1_decomposition.py`` can print the same three-way attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.farm.builder import build_testbed
+from repro.gulfstream.params import GSParams
+from repro.node.osmodel import OSParams
+from repro.sim.trace import Trace
+
+__all__ = ["StabilityResult", "eq1_prediction", "measure_stability"]
+
+
+def eq1_prediction(params: GSParams, delta: float = 0.0) -> float:
+    """Equation 1 with an assumed δ."""
+    return params.beacon_duration + params.amg_stable_wait + params.gsc_stable_wait + delta
+
+
+@dataclass(frozen=True)
+class StabilityResult:
+    """One discovery run's timing."""
+
+    n_nodes: int
+    n_adapters: int
+    beacon_duration: float
+    #: measured time for GSC's view to become stable (Figure 5 y-axis)
+    stable_time: float
+    #: Equation 1 with δ = 0
+    configured: float
+    #: stable_time - configured: the paper's δ
+    delta: float
+    #: time the last AMG declared itself stable
+    last_amg_stable: float
+    #: δ up to AMG stability: beacon stagger + formation 2PC + lags
+    delta_formation: float
+    #: δ between AMG stability and GSC stability: report path + lags
+    delta_reporting: float
+    #: adapters GSC knew at stability (completeness check)
+    adapters_discovered: int
+    groups_discovered: int
+
+
+def measure_stability(
+    n_nodes: int,
+    beacon_duration: float = 5.0,
+    seed: int = 0,
+    params: Optional[GSParams] = None,
+    os_params: Optional[OSParams] = None,
+    adapters_per_node: int = 3,
+    timeout: float = 300.0,
+) -> StabilityResult:
+    """Run one testbed discovery and measure the Figure 5 quantity."""
+    p = (params if params is not None else GSParams()).derive(
+        beacon_duration=beacon_duration
+    )
+    # store only the cheap categories the decomposition needs
+    trace = Trace(store=True, categories={"gs.amg.stable", "gsc.stable"})
+    farm = build_testbed(
+        n_nodes,
+        seed=seed,
+        params=p,
+        os_params=os_params,
+        adapters_per_node=adapters_per_node,
+        trace=trace,
+    )
+    farm.start()
+    stable = farm.run_until_stable(timeout=timeout)
+    if stable is None:
+        raise RuntimeError(
+            f"discovery did not stabilize within {timeout}s (n={n_nodes})"
+        )
+    gsc = farm.gsc()
+    assert gsc is not None
+    amg_stables = [r.time for r in trace.select("gs.amg.stable")]
+    last_amg = max(amg_stables) if amg_stables else float("nan")
+    configured = eq1_prediction(p)
+    return StabilityResult(
+        n_nodes=n_nodes,
+        n_adapters=n_nodes * adapters_per_node,
+        beacon_duration=beacon_duration,
+        stable_time=stable,
+        configured=configured,
+        delta=stable - configured,
+        last_amg_stable=last_amg,
+        delta_formation=last_amg - (beacon_duration + p.amg_stable_wait),
+        delta_reporting=stable - last_amg - p.gsc_stable_wait,
+        adapters_discovered=len(gsc.adapters),
+        groups_discovered=len(gsc.groups),
+    )

@@ -1,0 +1,71 @@
+"""Parameter-grid running and table formatting.
+
+Every benchmark prints its reproduction as a plain-text table (the paper's
+"figures" are one-dimensional sweeps, so rows are the honest rendering).
+``run_grid`` evaluates a function over a parameter grid; ``format_table``
+renders rows the way the benches and EXPERIMENTS.md present them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "run_grid"]
+
+
+def run_grid(
+    fn: Callable[..., Mapping],
+    grid: Dict[str, Sequence],
+    fixed: Optional[Dict] = None,
+) -> List[Dict]:
+    """Evaluate ``fn(**point, **fixed)`` over the cartesian grid.
+
+    Each result mapping is merged with the grid point into one row dict;
+    rows come back in grid order (last key varies fastest).
+    """
+    fixed = fixed or {}
+    keys = list(grid)
+    rows: List[Dict] = []
+    for values in itertools.product(*(grid[k] for k in keys)):
+        point = dict(zip(keys, values))
+        result = fn(**point, **fixed)
+        row = dict(point)
+        row.update(result)
+        rows.append(row)
+    return rows
+
+
+def format_table(
+    rows: Iterable[Mapping],
+    columns: Sequence[str],
+    headers: Optional[Sequence[str]] = None,
+    floatfmt: str = ".2f",
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width plain-text table."""
+    headers = list(headers) if headers is not None else list(columns)
+    rendered: List[List[str]] = []
+    for row in rows:
+        line = []
+        for col in columns:
+            v = row.get(col, "")
+            if isinstance(v, float):
+                line.append(format(v, floatfmt))
+            else:
+                line.append(str(v))
+        rendered.append(line)
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_line(headers))
+    out.append(fmt_line(["-" * w for w in widths]))
+    out.extend(fmt_line(r) for r in rendered)
+    return "\n".join(out)

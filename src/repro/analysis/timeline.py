@@ -1,0 +1,103 @@
+"""ASCII timelines of protocol activity.
+
+Renders a per-source lane chart of selected trace categories over a time
+window — the quickest way to *see* a cascade (a §3.1 move, a takeover, a
+merge storm) without leaving the terminal::
+
+    t(s)   0.0                            15.0
+    node-0/eth1  ·····S··P··········C·······
+    node-1/eth1  ··········!···B····C·······
+
+Each category maps to a single mark character; the first event in a cell
+wins (the trigger beats its same-instant consequences). The default
+palette covers the interesting protocol moments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["render_timeline", "DEFAULT_MARKS"]
+
+#: category -> single-character mark
+DEFAULT_MARKS: Dict[str, str] = {
+    "gs.start": "s",
+    "gs.phase.end": "p",
+    "gs.2pc.prepare": "2",
+    "gs.2pc.commit": "C",
+    "gs.view.install": "V",
+    "gs.hb.suspect": "S",
+    "gs.suspect.false": "f",
+    "gs.death": "D",
+    "gs.selffault": "L",
+    "gs.leader.dead": "X",
+    "gs.leader.unreachable": "!",
+    "gs.takeover": "T",
+    "gs.self_promote": "B",
+    "gs.merge.request": "m",
+    "gs.merge.absorb": "M",
+    "gs.amg.stable": "A",
+    "gsc.stable": "G",
+    "gsc.report": "r",
+    "net.vlan.move": "=",
+    "node.crash": "#",
+    "node.restart": "+",
+}
+
+
+def render_timeline(
+    trace,
+    start: float,
+    end: float,
+    width: int = 72,
+    sources: Optional[Iterable[str]] = None,
+    marks: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render stored trace records in ``[start, end)`` as lane rows.
+
+    Parameters
+    ----------
+    sources:
+        Restrict to these trace sources (lanes); default: every source
+        that emitted a marked category in the window.
+    marks:
+        Category → mark overrides; unmarked categories are skipped.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    palette = dict(DEFAULT_MARKS)
+    if marks:
+        palette.update(marks)
+    wanted = set(sources) if sources is not None else None
+    lanes: Dict[str, List[str]] = {}
+    scale = width / (end - start)
+    for rec in trace.records:
+        if not (start <= rec.time < end):
+            continue
+        mark = palette.get(rec.category)
+        if mark is None:
+            continue
+        if wanted is not None and rec.source not in wanted:
+            continue
+        lane = lanes.setdefault(rec.source, ["·"] * width)
+        col = min(width - 1, int((rec.time - start) * scale))
+        if lane[col] == "·":
+            # first event in a cell wins: the trigger is usually more
+            # informative than its (same-instant) consequences
+            lane[col] = mark
+    label_w = max([len(s) for s in lanes] + [4]) + 2
+    header = f"{'t(s)':<{label_w}}{start:<{width // 2}.1f}{end:>{width - width // 2}.1f}"
+    lines = [header]
+    for source in sorted(lanes):
+        lines.append(f"{source:<{label_w}}{''.join(lanes[source])}")
+    legend_items = sorted(
+        {(palette[c], c) for rec in trace.records for c in [rec.category]
+         if c in palette and start <= rec.time < end
+         and (wanted is None or rec.source in wanted)}
+    )
+    if legend_items:
+        lines.append("")
+        lines.append("legend: " + "  ".join(f"{m}={c}" for m, c in legend_items))
+    return "\n".join(lines)

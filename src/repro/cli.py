@@ -1,0 +1,253 @@
+"""Command-line interface: ``gulfstream-sim``.
+
+Runs the canonical scenarios from a shell, so the reproduction can be
+explored without writing Python::
+
+    gulfstream-sim discover --nodes 55 --beacon 5
+    gulfstream-sim fig5 --nodes 2,10,25,55 --beacon-times 5,10,20
+    gulfstream-sim storm --nodes 10 --duration 180
+    gulfstream-sim move --domain-size 4
+    gulfstream-sim detectors --members 32
+    gulfstream-sim serve --rate 100 --event move
+
+Every command prints a plain-text report; ``--seed`` makes any run exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table, measure_stability, summarize_farm
+from repro.gulfstream.params import GSParams
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv_ints(text: str) -> List[int]:
+    return [int(x) for x in text.split(",") if x]
+
+
+def _csv_floats(text: str) -> List[float]:
+    return [float(x) for x in text.split(",") if x]
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_discover(args) -> int:
+    params = GSParams(beacon_duration=args.beacon)
+    from repro.farm import build_testbed
+
+    farm = build_testbed(args.nodes, seed=args.seed, params=params,
+                         adapters_per_node=args.adapters)
+    farm.start()
+    stable = farm.run_until_stable(timeout=args.timeout)
+    if stable is None:
+        print(f"discovery did not stabilize within {args.timeout}s", file=sys.stderr)
+        return 1
+    configured = params.beacon_duration + params.amg_stable_wait + params.gsc_stable_wait
+    print(f"stable in {stable:.2f}s (configured {configured:.0f}s, "
+          f"delta {stable - configured:.2f}s)")
+    print(summarize_farm(farm))
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    rows = []
+    for tb in args.beacon_times:
+        for n in args.nodes:
+            r = measure_stability(n, beacon_duration=tb, seed=args.seed + n)
+            rows.append({
+                "T_beacon": tb, "nodes": n, "adapters": r.n_adapters,
+                "stable_s": r.stable_time, "delta_s": r.delta,
+            })
+    print(format_table(
+        rows, columns=["T_beacon", "nodes", "adapters", "stable_s", "delta_s"],
+        title="Figure 5 — time for all groups to become stable",
+    ))
+    return 0
+
+
+def cmd_storm(args) -> int:
+    from repro.farm.builder import FarmBuilder
+    from repro.node.faults import FaultInjector
+    from repro.node.osmodel import OSParams
+
+    params = GSParams(beacon_duration=3.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+                      hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                      takeover_stagger=0.5)
+    b = FarmBuilder(seed=args.seed, params=params, os_params=OSParams.fast())
+    for i in range(args.nodes):
+        b.add_node(f"node-{i}", [1, 2], admin_eligible=(i < 2))
+    farm = b.finish()
+    farm.start()
+    stable = farm.run_until_stable(timeout=120.0)
+    if stable is None:
+        print("discovery did not stabilize", file=sys.stderr)
+        return 1
+    inj = FaultInjector(farm.sim, farm.hosts, mtbf=args.mtbf, mttr=args.mttr)
+    inj.start()
+    farm.sim.run(until=farm.sim.now + args.duration)
+    inj.stop()
+    for h in farm.hosts.values():
+        if h.crashed:
+            h.restart()
+    farm.sim.run(until=farm.sim.now + 60.0)
+    print(f"churn: {inj.crashes} crashes / {inj.repairs} repairs in "
+          f"{args.duration:.0f}s")
+    print(f"notifications: {farm.bus.count('node_failed')} node_failed, "
+          f"{farm.bus.count('node_recovered')} node_recovered")
+    print(summarize_farm(farm))
+    return 0
+
+
+def cmd_move(args) -> int:
+    from repro.farm.builder import FarmBuilder
+    from repro.node.osmodel import OSParams
+
+    params = GSParams(beacon_duration=3.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+                      hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                      takeover_stagger=0.5)
+    b = FarmBuilder(seed=args.seed, params=params, os_params=OSParams.fast())
+    for i in range(args.domain_size):
+        b.add_node(f"a-{i}", [1, 2], admin_eligible=(i == 0))
+    for i in range(args.domain_size):
+        b.add_node(f"b-{i}", [1, 3])
+    farm = b.finish()
+    farm.start()
+    farm.run_until_stable(timeout=120.0)
+    mover = farm.hosts["a-1"].adapters[1]
+    t0 = farm.sim.now
+    print(f"t={t0:.2f}s: moving {mover.name} ({mover.ip}) from VLAN 2 to VLAN 3")
+    farm.reconfig().move_adapter(mover.ip, 3)
+    farm.sim.run(until=t0 + 45.0)
+    for note in farm.bus.history:
+        if note.time > t0:
+            print(f"  {note}")
+    proto = farm.daemons["a-1"].protocol_for(mover.ip)
+    print(f"final view: {proto.view}")
+    print(f"failure notifications: {farm.bus.count('adapter_failed')} "
+          "(expected moves are suppressed)")
+    return 0
+
+
+def cmd_detectors(args) -> int:
+    from repro.detectors import (
+        AllPairsDetector, CentralPollDetector, DetectorHarness, DetectorParams,
+        GossipDetector, RingDetector,
+    )
+
+    rows = []
+    for label, cls in (
+        ("ring (GulfStream)", RingDetector),
+        ("all-pairs (HACMP)", AllPairsDetector),
+        ("random ping [9]", GossipDetector),
+        ("central poll", CentralPollDetector),
+    ):
+        h = DetectorHarness(args.members, cls, DetectorParams(), seed=args.seed)
+        h.start()
+        h.run(until=20)
+        load = h.load_stats()["frames_per_sec"]
+        ip = h.crash(args.members // 2)
+        h.run(until=60)
+        rows.append({"scheme": label, "frames_per_sec": load,
+                     "detect_s": h.detection_time(ip)})
+    print(format_table(
+        rows, columns=["scheme", "frames_per_sec", "detect_s"],
+        title=f"failure detectors, {args.members} members",
+    ))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.farm import DomainSpec, FarmSpec, build_farm
+    from repro.farm.requests import deploy_domain_service
+    from repro.node.osmodel import OSParams
+
+    params = GSParams(beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
+                      hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                      takeover_stagger=0.5)
+    spec = FarmSpec(domains=[DomainSpec("acme", 2, 3)], dispatchers=1,
+                    management_nodes=1, spare_nodes=1)
+    farm = build_farm(spec, seed=args.seed, params=params, os_params=OSParams.fast())
+    dispatcher = deploy_domain_service(farm, "acme", rate=args.rate)
+    farm.start()
+    farm.run_until_stable(timeout=120.0)
+    dispatcher.start()
+    farm.sim.run(until=farm.sim.now + 15.0)
+    t0 = farm.sim.now
+    if args.event == "crash":
+        print(f"t={t0:.1f}s: crashing acme-be-1")
+        farm.hosts["acme-be-1"].crash()
+    elif args.event == "move":
+        print(f"t={t0:.1f}s: moving acme-be-1 out of the domain")
+        farm.reconfig().move_node(farm.hosts["acme-be-1"],
+                                  {farm.domain_vlans["acme"]: 99})
+    farm.sim.run(until=t0 + 30.0)
+    s = dispatcher.stats
+    p50 = s.latency_percentile(50)
+    print(f"issued={s.issued} completed={s.completed} failed={s.failed} "
+          f"retried={s.retried}")
+    print(f"success rate={s.success_rate:.4f}  p50 latency="
+          f"{(p50 or 0) * 1000:.1f}ms")
+    print(f"failures in the 30s event window: {s.failures_in(t0, t0 + 30.0)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    parser = argparse.ArgumentParser(
+        prog="gulfstream-sim",
+        description="GulfStream (CLUSTER 2001) reproduction — scenario runner",
+        parents=[common],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("discover", help="run one topology discovery", parents=[common])
+    p.add_argument("--nodes", type=int, default=12)
+    p.add_argument("--adapters", type=int, default=3, help="adapters per node")
+    p.add_argument("--beacon", type=float, default=5.0, help="T_beacon seconds")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.set_defaults(fn=cmd_discover)
+
+    p = sub.add_parser("fig5", help="regenerate a Figure 5 sweep", parents=[common])
+    p.add_argument("--nodes", type=_csv_ints, default=[2, 10, 25, 55])
+    p.add_argument("--beacon-times", type=_csv_floats, default=[5.0, 10.0, 20.0])
+    p.set_defaults(fn=cmd_fig5)
+
+    p = sub.add_parser("storm", help="random churn, then convergence report", parents=[common])
+    p.add_argument("--nodes", type=int, default=10)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--mtbf", type=float, default=60.0)
+    p.add_argument("--mttr", type=float, default=10.0)
+    p.set_defaults(fn=cmd_storm)
+
+    p = sub.add_parser("move", help="narrate a §3.1 domain move", parents=[common])
+    p.add_argument("--domain-size", type=int, default=3)
+    p.set_defaults(fn=cmd_move)
+
+    p = sub.add_parser("detectors", help="failure-detector comparison", parents=[common])
+    p.add_argument("--members", type=int, default=32)
+    p.set_defaults(fn=cmd_detectors)
+
+    p = sub.add_parser("serve", help="request workload with an optional event", parents=[common])
+    p.add_argument("--rate", type=float, default=100.0)
+    p.add_argument("--event", choices=["none", "crash", "move"], default="crash")
+    p.set_defaults(fn=cmd_serve)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

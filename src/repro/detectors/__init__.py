@@ -1,0 +1,47 @@
+"""Alternative failure detectors — the paper's comparison space.
+
+GulfStream's ring heartbeating is one point in a design space the paper
+discusses explicitly:
+
+* §5 compares against HACMP, which "uses a form of heartbeating which
+  scales poorly" — :class:`~repro.detectors.allpairs.AllPairsDetector`
+  (every member heartbeats every other member: O(n²) load);
+* §4.2 proposes "a randomized distributed pinging algorithm" citing Gupta,
+  Chandra & Goldszmidt [9] — :class:`~repro.detectors.gossip.GossipDetector`
+  (random direct ping + indirect probes through proxies);
+* a centralized poller is the obvious straw man —
+  :class:`~repro.detectors.central_poll.CentralPollDetector`;
+* GulfStream's own ring, stripped of membership management so the
+  comparison is heartbeating-only —
+  :class:`~repro.detectors.ring.RingDetector`.
+
+All run inside :class:`~repro.detectors.base.DetectorHarness`, which builds
+one broadcast segment with N adapters, injects crashes, and measures
+network load, detection latency, and false positives under loss.
+:mod:`repro.detectors.analysis` provides the closed-form load/detection
+formulas the benches print next to the simulated numbers.
+"""
+
+from repro.detectors.base import (
+    Declaration,
+    DetectorHarness,
+    DetectorMember,
+    DetectorParams,
+)
+from repro.detectors.ring import RingDetector
+from repro.detectors.allpairs import AllPairsDetector
+from repro.detectors.gossip import GossipDetector
+from repro.detectors.central_poll import CentralPollDetector
+from repro.detectors import analysis
+
+__all__ = [
+    "AllPairsDetector",
+    "CentralPollDetector",
+    "Declaration",
+    "DetectorHarness",
+    "DetectorMember",
+    "DetectorParams",
+    "GossipDetector",
+    "RingDetector",
+    "analysis",
+]

@@ -1,0 +1,61 @@
+"""All-pairs heartbeating — the HACMP-style baseline.
+
+§5: "HACMP uses a form of heartbeating which scales poorly." Every member
+heartbeats *every* other member each interval and monitors all of them, so
+the per-segment load is n·(n-1) frames per interval — quadratic where the
+ring is linear. Detection is fast (everyone notices everyone), which is
+exactly the trade-off ``bench_detector_comparison.py`` quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.addressing import IPAddress
+from repro.detectors.base import DetectorMember
+from repro.sim.process import Timer
+
+__all__ = ["AllPairsDetector", "AllPairsHb"]
+
+
+@dataclass(frozen=True)
+class AllPairsHb:
+    """All-pairs heartbeat frame."""
+
+    sender: IPAddress
+
+
+class AllPairsDetector(DetectorMember):
+    """One member of an all-pairs mesh."""
+
+    def start(self) -> None:
+        now = self.sim.now
+        self.last_heard: Dict[IPAddress, float] = {ip: now for ip in self.peers}
+        rng = self.sim.rng.stream(f"det/{self.nic.name}")
+        self.add_timer(
+            Timer(self.sim, self.params.interval, self._send,
+                  initial_delay=float(rng.uniform(0, self.params.interval)))
+        )
+        self.add_timer(
+            Timer(self.sim, self.params.interval, self._check,
+                  initial_delay=self.params.interval * (self.params.miss_threshold + 0.5))
+        )
+
+    def _send(self) -> None:
+        msg = AllPairsHb(sender=self.nic.ip)
+        for ip in self.peers:
+            self.send(ip, msg)
+
+    def _check(self) -> None:
+        now = self.sim.now
+        limit = self.params.miss_threshold * self.params.interval
+        for ip in self.peers:
+            if now - self.last_heard[ip] > limit:
+                self.declare(ip)
+
+    def on_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, AllPairsHb):
+            self.last_heard[msg.sender] = self.sim.now
+            self.clear(msg.sender)

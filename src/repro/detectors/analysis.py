@@ -1,0 +1,109 @@
+"""Closed-form load and detection-time formulas.
+
+The benches print these next to the simulated numbers, so a reader can see
+the simulation agreeing with the arithmetic — "past experience suggests the
+key limiting factor for failure detection scalability is the frequency of
+heartbeating messages" (§4.2) made quantitative.
+
+All formulas give *segment* frames per second for n members with period T
+(heartbeat interval or protocol period):
+
+===============  =============================  ==========================
+scheme           frames/sec                     expected detection time
+===============  =============================  ==========================
+ring (uni)       n / T                          (k + 1/2)·T  (neighbour)
+ring (bidi)      2·n / T                        (k + 1/2)·T
+all-pairs        n·(n-1) / T                    (k + 1/2)·T
+central poll     2·(n-1) / T                    (k + 1/2)·T (+ queueing)
+random pinging   ~2·n / T (+ escalations)       T·(e/(e-1)) ≈ 1.58·T
+===============  =============================  ==========================
+
+The random-pinging detection time is the classic result from Gupta et al.
+[9]: the expected number of protocol periods until *some* member picks the
+dead member as its random target is 1/(1-(1-1/n)^n) → e/(e-1) as n grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "allpairs_load",
+    "central_poll_load",
+    "detection_time",
+    "gossip_detection_time",
+    "gossip_load",
+    "ring_load",
+    "p_miss_all_beacons",
+    "subgroup_load",
+]
+
+
+def ring_load(n: int, interval: float, bidirectional: bool = True) -> float:
+    """Segment frames/sec for ring heartbeating."""
+    if n < 2:
+        return 0.0
+    per_member = 2 if bidirectional else 1
+    return per_member * n / interval
+
+
+def allpairs_load(n: int, interval: float) -> float:
+    """Segment frames/sec for all-pairs (HACMP-style) heartbeating."""
+    return n * (n - 1) / interval
+
+
+def central_poll_load(n: int, interval: float) -> float:
+    """Segment frames/sec for centralized polling (poll + ack per member)."""
+    return 2 * (n - 1) / interval
+
+
+def gossip_load(n: int, interval: float, escalation_rate: float = 0.0, proxies: int = 3) -> float:
+    """Segment frames/sec for randomized pinging.
+
+    Base cost: one ping + one ack per member per period. Each escalation
+    adds ``proxies`` requests, relays, and (up to) two acks each.
+    """
+    base = 2 * n / interval
+    extra = escalation_rate * n * proxies * 4 / interval
+    return base + extra
+
+
+def subgroup_load(n: int, subgroup_size: int, interval: float, poll_interval: float,
+                  bidirectional: bool = True) -> float:
+    """Segment frames/sec for GulfStream's §4.2 subgroup scheme.
+
+    Intra-subgroup rings at full rate plus the leader's low-frequency polls
+    (poll + ack per foreign subgroup per poll period).
+    """
+    if n < 2:
+        return 0.0
+    ring = ring_load(n, interval, bidirectional)  # rings cover all members
+    n_subgroups = max(1, math.ceil(n / subgroup_size))
+    polls = 2 * max(0, n_subgroups - 1) / poll_interval
+    return ring + polls
+
+
+def detection_time(interval: float, miss_threshold: int) -> float:
+    """Expected detection latency for periodic heartbeat monitoring.
+
+    A crash lands uniformly within a period (expected ½T before the next
+    expected heartbeat), then ``k`` full periods must elapse silent.
+    """
+    return (miss_threshold + 0.5) * interval
+
+
+def gossip_detection_time(n: int, interval: float) -> float:
+    """Expected periods until some member randomly probes the dead one."""
+    if n <= 1:
+        return math.inf
+    p_picked = 1.0 - (1.0 - 1.0 / (n - 1)) ** (n - 1)
+    return interval / p_picked
+
+
+def p_miss_all_beacons(loss_probability: float, k_beacons: int) -> float:
+    """§4.1: P(lose all k BEACON messages) = p^k, assuming independence."""
+    if not 0.0 <= loss_probability <= 1.0:
+        raise ValueError("loss probability out of [0, 1]")
+    if k_beacons < 0:
+        raise ValueError("k_beacons must be >= 0")
+    return loss_probability ** k_beacons

@@ -1,0 +1,81 @@
+"""Centralized polling — the straw-man baseline.
+
+One designated monitor probes every member round-robin; members never talk
+to each other. Per-segment load is O(n) per interval (like the ring) but
+every frame flows to/from one node, which is the single-point bottleneck
+§4.2 worries about when discussing GulfStream Central's scalability — this
+detector puts a number on it (``monitor_frames_per_sec`` grows with n while
+for GulfStream's ring each node's load is constant).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.addressing import IPAddress
+from repro.detectors.base import DetectorMember
+from repro.sim.process import Timer
+
+__all__ = ["CentralPollDetector", "Poll", "PollAck"]
+
+_nonce = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Poll:
+    sender: IPAddress
+    nonce: int
+
+
+@dataclass(frozen=True)
+class PollAck:
+    sender: IPAddress
+    nonce: int
+
+
+class CentralPollDetector(DetectorMember):
+    """Monitor if ``index == harness.monitor_index``, silent responder else."""
+
+    def start(self) -> None:
+        self.is_monitor = getattr(self, "index", None) == self.harness.monitor_index
+        if not self.is_monitor:
+            return
+        #: consecutive unanswered polls per member
+        self.misses: Dict[IPAddress, int] = {ip: 0 for ip in self.peers}
+        self._outstanding: Dict[int, IPAddress] = {}
+        self._rr = 0
+        # spread the per-member polls evenly across the interval
+        per_poll = self.params.interval / max(1, len(self.peers))
+        self.add_timer(Timer(self.sim, per_poll, self._poll_next, initial_delay=per_poll))
+
+    def _poll_next(self) -> None:
+        target = self.peers[self._rr % len(self.peers)]
+        self._rr += 1
+        nonce = next(_nonce)
+        self._outstanding[nonce] = target
+        self.send(target, Poll(sender=self.nic.ip, nonce=nonce))
+        self.sim.schedule(self.params.timeout, self._poll_timeout, nonce)
+
+    def _poll_timeout(self, nonce: int) -> None:
+        target = self._outstanding.pop(nonce, None)
+        if target is None:
+            return
+        self.misses[target] += 1
+        if self.misses[target] >= self.params.miss_threshold:
+            self.declare(target)
+
+    def on_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, Poll):
+            self.send(msg.sender, PollAck(sender=self.nic.ip, nonce=msg.nonce))
+        elif isinstance(msg, PollAck) and getattr(self, "is_monitor", False):
+            target = self._outstanding.pop(msg.nonce, None)
+            if target is not None:
+                self.misses[target] = 0
+                self.clear(target)
+
+    @property
+    def monitor_count(self) -> int:
+        return len(self.peers) if getattr(self, "is_monitor", False) else 0

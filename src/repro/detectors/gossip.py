@@ -1,0 +1,144 @@
+"""Randomized distributed pinging — the §4.2 alternative.
+
+"A radically different approach to failure detection is to eliminate
+heartbeating altogether and use a randomized distributed pinging algorithm
+among group members. ... protocols in this category impose a much lower
+load on the network compared to heartbeating protocols that guarantee the
+similar detection time for failures and probability of mistaken detection
+of a failure [9]."
+
+Reference [9] is Gupta, Chandra & Goldszmidt (PODC 2001) — the protocol
+that later became SWIM's failure detector. Each protocol period a member:
+
+1. picks one random peer and pings it directly;
+2. on timeout, asks ``proxies`` other random peers to ping it indirectly
+   (this distinguishes a dead peer from a lossy direct path);
+3. declares the peer failed only if the direct ping and every indirect
+   probe are silent for the rest of the period.
+
+Expected per-member load is O(1) per period regardless of group size, and
+the indirect probes make the mistaken-detection probability fall with the
+number of proxies rather than with extra heartbeat traffic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.addressing import IPAddress
+from repro.detectors.base import DetectorMember
+from repro.sim.process import Timer
+
+__all__ = ["GossipDetector", "Ping", "Ack", "PingReq"]
+
+_nonce = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Direct liveness probe."""
+
+    sender: IPAddress
+    nonce: int
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Reply to a direct or relayed probe."""
+
+    sender: IPAddress
+    nonce: int
+    #: the member whose liveness this ack attests (for relayed acks)
+    subject: IPAddress
+
+
+@dataclass(frozen=True)
+class PingReq:
+    """Ask a proxy to ping ``subject`` on the requester's behalf."""
+
+    sender: IPAddress
+    subject: IPAddress
+    nonce: int
+
+
+class GossipDetector(DetectorMember):
+    """One member of the randomized-pinging protocol."""
+
+    def start(self) -> None:
+        self.rng = self.sim.rng.stream(f"det/{self.nic.name}")
+        #: nonce -> subject of an outstanding direct ping
+        self._direct: Dict[int, IPAddress] = {}
+        #: nonce -> (subject) for outstanding proxy rounds
+        self._indirect: Dict[int, IPAddress] = {}
+        #: relayed pings we're waiting on: our nonce -> (requester, their nonce)
+        self._relaying: Dict[int, tuple] = {}
+        self.add_timer(
+            Timer(self.sim, self.params.interval, self._round,
+                  initial_delay=float(self.rng.uniform(0, self.params.interval)))
+        )
+
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        if not self.peers:
+            return
+        target = self.peers[int(self.rng.integers(len(self.peers)))]
+        nonce = next(_nonce)
+        self._direct[nonce] = target
+        self.send(target, Ping(sender=self.nic.ip, nonce=nonce))
+        self.sim.schedule(self.params.timeout, self._direct_timeout, nonce)
+
+    def _direct_timeout(self, nonce: int) -> None:
+        target = self._direct.pop(nonce, None)
+        if target is None:
+            return  # acked in time
+        # escalate: indirect probes through k random proxies
+        proxies = [p for p in self.peers if p != target]
+        k = min(self.params.proxies, len(proxies))
+        if k == 0:
+            self.declare(target)
+            return
+        idx = self.rng.choice(len(proxies), size=k, replace=False)
+        round_nonce = next(_nonce)
+        self._indirect[round_nonce] = target
+        for i in idx:
+            self.send(proxies[int(i)],
+                      PingReq(sender=self.nic.ip, subject=target, nonce=round_nonce))
+        self.sim.schedule(2 * self.params.timeout, self._indirect_timeout, round_nonce)
+
+    def _indirect_timeout(self, nonce: int) -> None:
+        target = self._indirect.pop(nonce, None)
+        if target is not None:
+            self.declare(target)
+
+    # ------------------------------------------------------------------
+    def on_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, Ping):
+            self.send(msg.sender, Ack(sender=self.nic.ip, nonce=msg.nonce,
+                                      subject=self.nic.ip))
+        elif isinstance(msg, PingReq):
+            # relay: ping the subject; forward any ack to the requester
+            relay_nonce = next(_nonce)
+            self._relaying[relay_nonce] = (msg.sender, msg.nonce)
+            self.send(msg.subject, Ping(sender=self.nic.ip, nonce=relay_nonce))
+            self.sim.schedule(self.params.timeout, self._relay_timeout, relay_nonce)
+        elif isinstance(msg, Ack):
+            if msg.nonce in self._direct:
+                subject = self._direct.pop(msg.nonce)
+                self.clear(subject)
+            elif msg.nonce in self._relaying:
+                requester, their_nonce = self._relaying.pop(msg.nonce)
+                self.send(requester, Ack(sender=self.nic.ip, nonce=their_nonce,
+                                         subject=msg.subject))
+            elif msg.nonce in self._indirect:
+                subject = self._indirect.pop(msg.nonce)
+                self.clear(subject)
+
+    def _relay_timeout(self, nonce: int) -> None:
+        self._relaying.pop(nonce, None)
+
+    @property
+    def monitor_count(self) -> int:
+        return 1  # one random target per period

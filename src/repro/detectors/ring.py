@@ -1,0 +1,85 @@
+"""Standalone ring heartbeating (GulfStream's §3 scheme, monitoring only).
+
+Members are arranged in a fixed logical ring by address order. Each sends a
+heartbeat to its right neighbour (and, in bidirectional mode, its left)
+every ``interval``, and declares a monitored neighbour failed after
+``miss_threshold`` silent intervals. No membership management, no leader —
+this isolates the heartbeat scheme itself for comparison against the
+alternatives. Per-segment load is O(n) per interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.net.addressing import IPAddress
+from repro.detectors.base import DetectorHarness, DetectorMember, DetectorParams
+from repro.sim.process import Timer
+
+__all__ = ["RingDetector", "RingHb"]
+
+
+@dataclass(frozen=True)
+class RingHb:
+    """Ring heartbeat frame."""
+
+    sender: IPAddress
+
+
+class RingDetector(DetectorMember):
+    """One ring member. Set ``bidirectional`` on the class to choose mode."""
+
+    bidirectional = True
+
+    def start(self) -> None:
+        everyone = sorted([self.nic.ip] + self.peers, key=int)
+        n = len(everyone)
+        i = everyone.index(self.nic.ip)
+        right = everyone[(i + 1) % n]
+        left = everyone[(i - 1) % n]
+        if self.bidirectional:
+            self.targets = {left, right}
+            self.monitored = {left, right}
+        else:
+            self.targets = {right}
+            self.monitored = {left}
+        now = self.sim.now
+        self.last_heard: Dict[IPAddress, float] = {ip: now for ip in self.monitored}
+        rng = self.sim.rng.stream(f"det/{self.nic.name}")
+        self.add_timer(
+            Timer(self.sim, self.params.interval, self._send,
+                  initial_delay=float(rng.uniform(0, self.params.interval)))
+        )
+        self.add_timer(
+            Timer(self.sim, self.params.interval, self._check,
+                  initial_delay=self.params.interval * (self.params.miss_threshold + 0.5))
+        )
+
+    @property
+    def monitor_count(self) -> int:
+        return len(self.monitored)
+
+    def _send(self) -> None:
+        msg = RingHb(sender=self.nic.ip)
+        for ip in self.targets:
+            self.send(ip, msg)
+
+    def _check(self) -> None:
+        now = self.sim.now
+        limit = self.params.miss_threshold * self.params.interval
+        for ip in self.monitored:
+            if now - self.last_heard[ip] > limit:
+                self.declare(ip)
+
+    def on_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, RingHb) and msg.sender in self.monitored:
+            self.last_heard[msg.sender] = self.sim.now
+            self.clear(msg.sender)
+
+
+class UnidirectionalRingDetector(RingDetector):
+    """One-way variant ("one strike and you're out" when threshold=1)."""
+
+    bidirectional = False

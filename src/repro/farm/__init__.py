@@ -1,0 +1,48 @@
+"""Multi-domain server-farm modelling — the Océano layer.
+
+Reproduces the topologies of the paper's Figures 1 and 2:
+
+* :func:`~repro.farm.builder.build_testbed` — the 55-node evaluation
+  testbed: N nodes, three adapters each, three farm-wide VLANs (one of them
+  administrative), which yields exactly the "three groups" of Figure 5.
+* :class:`~repro.farm.builder.FarmBuilder` /
+  :func:`~repro.farm.builder.build_farm` — a full Océano-style farm:
+  network-isolated customer domains (each with front-end and back-end
+  layers), request dispatchers, and an administrative domain hosting
+  GulfStream Central.
+* :class:`~repro.farm.oceano.OceanoController` — the SLA-driven controller
+  that moves nodes between domains in response to synthetic load, through
+  GulfStream's reconfiguration path.
+* :class:`~repro.farm.scenario.Scenario` — farm + fault plan + measurement
+  in one runnable object.
+"""
+
+from repro.farm.domain import DomainSpec, FarmSpec
+from repro.farm.builder import Farm, FarmBuilder, build_farm, build_testbed, build_zoned_farm
+from repro.farm.scenario import Scenario
+from repro.farm.oceano import OceanoController, SyntheticWorkload
+from repro.farm.requests import (
+    BackEndApp,
+    FrontEndApp,
+    RequestDispatcher,
+    RequestStats,
+    deploy_domain_service,
+)
+
+__all__ = [
+    "BackEndApp",
+    "DomainSpec",
+    "Farm",
+    "FarmBuilder",
+    "FarmSpec",
+    "FrontEndApp",
+    "OceanoController",
+    "RequestDispatcher",
+    "RequestStats",
+    "Scenario",
+    "SyntheticWorkload",
+    "build_farm",
+    "build_testbed",
+    "build_zoned_farm",
+    "deploy_domain_service",
+]

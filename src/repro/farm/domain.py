@@ -1,0 +1,93 @@
+"""Domain and farm specifications (Figures 1 and 2).
+
+A *domain* is a network-isolated unit of the farm serving one customer.
+Figure 2 shows the layered structure we reproduce:
+
+* **front-end servers** carry three adapters: a *dispatcher* adapter
+  (triangles — shared with the request dispatchers), an *internal* adapter
+  (squares — shared with the back ends), and an *administrative* adapter
+  (circles — shared with the whole farm);
+* **back-end servers** carry the internal and administrative adapters.
+
+"Note that the triangle adapters can directly communicate among
+themselves, but may not directly communicate with the circle adapters" —
+each adapter class is its own VLAN and therefore forms its own AMG.
+
+The admin adapter is index 0 on every node (the prototype's convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["DomainSpec", "FarmSpec"]
+
+#: the administrative VLAN shared by every node in the farm
+ADMIN_VLAN = 1
+#: the VLAN shared by front ends and the request dispatchers
+DISPATCH_VLAN = 2
+#: customer-domain internal VLANs are allocated from here upwards
+DOMAIN_VLAN_BASE = 100
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One customer domain."""
+
+    name: str
+    front_ends: int = 2
+    back_ends: int = 2
+    #: extra layers beyond front/back ("Other layers may be added if the
+    #: domain functionality requires it"); each adds a VLAN and that many
+    #: servers carrying (layer, admin) adapters
+    extra_layers: List[int] = field(default_factory=list)
+
+    @property
+    def servers(self) -> int:
+        return self.front_ends + self.back_ends + sum(self.extra_layers)
+
+    def validate(self) -> None:
+        if self.front_ends < 1:
+            raise ValueError(f"domain {self.name}: needs at least one front end")
+        if self.back_ends < 0 or any(n < 1 for n in self.extra_layers):
+            raise ValueError(f"domain {self.name}: invalid layer sizes")
+
+
+@dataclass(frozen=True)
+class FarmSpec:
+    """A whole multi-domain server farm."""
+
+    domains: List[DomainSpec]
+    dispatchers: int = 2
+    #: management nodes: admin-eligible, may host GulfStream Central
+    management_nodes: int = 2
+    #: how many switches the farm's adapters are spread over
+    switches: int = 2
+    #: spare (unassigned) nodes available for Océano to move into domains;
+    #: they sit on a free-pool VLAN with their domain-facing adapters
+    spare_nodes: int = 0
+
+    def validate(self) -> None:
+        if not self.domains:
+            raise ValueError("a farm needs at least one domain")
+        names = [d.name for d in self.domains]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate domain names")
+        for d in self.domains:
+            d.validate()
+        if self.dispatchers < 1:
+            raise ValueError("a farm needs at least one dispatcher")
+        if self.management_nodes < 1:
+            raise ValueError("a farm needs at least one management node")
+        if self.switches < 1:
+            raise ValueError("a farm needs at least one switch")
+
+    @property
+    def total_nodes(self) -> int:
+        return (
+            sum(d.servers for d in self.domains)
+            + self.dispatchers
+            + self.management_nodes
+            + self.spare_nodes
+        )

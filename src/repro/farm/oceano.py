@@ -1,0 +1,156 @@
+"""The Océano controller: SLA-driven node reallocation.
+
+"Océano provides a hosting environment which can rapidly adjust the
+resources ... assigned to each hosted web-site (domain) to a dynamically
+fluctuating workload. ... Océano reallocates servers in short time
+(minutes) in response to changing workloads" (§1).
+
+The controller here is deliberately simple — GulfStream, not the allocation
+policy, is the paper's subject — but it exercises the real reconfiguration
+path end to end: a synthetic per-domain workload fluctuates, the controller
+compares per-server load against thresholds, and grows/shrinks domains by
+moving spare nodes' adapters between the free-pool VLAN and domain VLANs
+through :class:`~repro.gulfstream.reconfig.ReconfigurationManager`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.farm.builder import FREE_POOL_VLAN, Farm
+from repro.sim.process import Timer
+
+__all__ = ["OceanoController", "SyntheticWorkload"]
+
+
+class SyntheticWorkload:
+    """Per-domain offered load over time.
+
+    A slow sinusoid per domain (phase-shifted so domains peak at different
+    times) plus optional flash-crowd spikes — the "peak loads that are
+    orders of magnitude larger than the normal steady state" motivating
+    Océano. Deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        domains: List[str],
+        base: float = 100.0,
+        amplitude: float = 80.0,
+        period: float = 120.0,
+        spikes: Optional[Dict[str, tuple]] = None,
+    ) -> None:
+        """``spikes`` maps domain → (start, duration, magnitude)."""
+        self.domains = list(domains)
+        self.base = base
+        self.amplitude = amplitude
+        self.period = period
+        self.spikes = spikes or {}
+
+    def load(self, domain: str, t: float) -> float:
+        """Offered load (requests/sec) for ``domain`` at time ``t``."""
+        i = self.domains.index(domain)
+        phase = 2 * math.pi * i / max(1, len(self.domains))
+        value = self.base + self.amplitude * math.sin(2 * math.pi * t / self.period + phase)
+        spike = self.spikes.get(domain)
+        if spike is not None:
+            start, duration, magnitude = spike
+            if start <= t < start + duration:
+                value += magnitude
+        return max(0.0, value)
+
+
+@dataclass
+class _MoveRecord:
+    time: float
+    node: str
+    src: str
+    dst: str
+
+
+class OceanoController:
+    """Grows and shrinks domains against a workload signal.
+
+    Policy: every ``interval`` seconds compute each domain's load per
+    server; above ``high_water`` move a spare in, below ``low_water`` (and
+    above the domain's configured minimum) move the domain's most recently
+    added transplant back to the pool.
+    """
+
+    def __init__(
+        self,
+        farm: Farm,
+        workload: SyntheticWorkload,
+        interval: float = 10.0,
+        high_water: float = 50.0,
+        low_water: float = 15.0,
+        min_servers: int = 2,
+    ) -> None:
+        self.farm = farm
+        self.workload = workload
+        self.interval = interval
+        self.high_water = high_water
+        self.low_water = low_water
+        self.min_servers = min_servers
+        self.moves: List[_MoveRecord] = []
+        #: nodes this controller moved into each domain (LIFO for shrink)
+        self._transplants: Dict[str, List[str]] = {d: [] for d in workload.domains}
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._timer = Timer(self.farm.sim, self.interval, self._tick,
+                            initial_delay=self.interval)
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def domain_size(self, domain: str) -> int:
+        return len(self.farm.domain_nodes[domain]) + len(self._transplants[domain])
+
+    def _tick(self) -> None:
+        gsc = self.farm.gsc()
+        if gsc is None or gsc.stable_time is None:
+            return  # wait for the farm to settle before reshaping it
+        now = self.farm.sim.now
+        for domain in self.workload.domains:
+            per_server = self.workload.load(domain, now) / max(1, self.domain_size(domain))
+            if per_server > self.high_water and self.farm.spare_nodes:
+                self._grow(domain)
+            elif (
+                per_server < self.low_water
+                and self._transplants[domain]
+                and self.domain_size(domain) > self.min_servers
+            ):
+                self._shrink(domain)
+
+    def _grow(self, domain: str) -> None:
+        node = self.farm.spare_nodes.pop(0)
+        vlan = self.farm.domain_vlans[domain]
+        self._move_node_adapters(node, vlan)
+        self._transplants[domain].append(node)
+        self.moves.append(_MoveRecord(self.farm.sim.now, node, "free-pool", domain))
+        self.farm.sim.trace.emit(self.farm.sim.now, "oceano.grow", domain, node=node)
+
+    def _shrink(self, domain: str) -> None:
+        node = self._transplants[domain].pop()
+        self._move_node_adapters(node, FREE_POOL_VLAN)
+        self.farm.spare_nodes.append(node)
+        self.moves.append(_MoveRecord(self.farm.sim.now, node, domain, "free-pool"))
+        self.farm.sim.trace.emit(self.farm.sim.now, "oceano.shrink", domain, node=node)
+
+    def _move_node_adapters(self, node: str, target_vlan: int) -> None:
+        """Move every non-administrative adapter of ``node`` to the VLAN.
+
+        "All domains are similarly attached to an administrative domain"
+        (Figure 1): the admin adapter never moves.
+        """
+        rm = self.farm.reconfig()
+        host = self.farm.hosts[node]
+        for nic in host.adapters[1:]:
+            rm.move_adapter(nic.ip, target_vlan)

@@ -1,0 +1,359 @@
+"""Request-level workload: measuring "minimal service interruption".
+
+§1 of the paper motivates GulfStream with hosted web traffic: "Requests
+flowing into the farm go through request dispatchers ... which distribute
+them to the appropriate servers within each of the domains", and the whole
+point of dynamic reconfiguration is that it "must be accomplished with
+minimal service interruption".
+
+This module puts actual request traffic on the simulated farm so that
+claim can be measured (``benchmarks/bench_service_interruption.py``):
+
+* a :class:`RequestDispatcher` runs on a dispatcher node, issuing requests
+  to a domain's front ends over the dispatcher VLAN (round-robin with
+  retry-on-timeout failover);
+* a :class:`FrontEndApp` on each front end forwards work to a back-end
+  server over the domain-internal VLAN — choosing workers from its
+  adapter's *live GulfStream AMG view*, which is exactly how membership
+  quality turns into service quality;
+* a :class:`BackEndApp` serves the work after a configurable service time.
+
+All of it rides the same fabric, adapters, latency, and loss as the
+protocol traffic, through the daemon's application demux — so a crashed
+node, a moved adapter, or a partition degrades requests precisely as far
+as the real topology (and GulfStream's view of it) degrades.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.net.addressing import IPAddress
+from repro.sim.process import Timer
+
+__all__ = [
+    "BackEndApp",
+    "FrontEndApp",
+    "RequestDispatcher",
+    "RequestStats",
+    "deploy_domain_service",
+]
+
+_req_ids = itertools.count(1)
+
+
+# ----------------------------------------------------------------------
+# wire messages (application layer)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """Dispatcher → front end."""
+
+    req_id: int
+    client: IPAddress
+
+
+@dataclass(frozen=True)
+class Work:
+    """Front end → back end."""
+
+    req_id: int
+    front_end: IPAddress
+
+
+@dataclass(frozen=True)
+class WorkDone:
+    """Back end → front end."""
+
+    req_id: int
+    worker: IPAddress
+
+
+@dataclass(frozen=True)
+class Response:
+    """Front end → dispatcher."""
+
+    req_id: int
+    server: IPAddress
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+@dataclass
+class RequestStats:
+    """End-to-end service metrics collected at the dispatcher."""
+
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    latencies: List[float] = field(default_factory=list)
+    #: completion times of failures, for interruption-window analysis
+    failure_times: List[float] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        done = self.completed + self.failed
+        return self.completed / done if done else 1.0
+
+    def latency_percentile(self, q: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        return float(np.percentile(self.latencies, q))
+
+    def failures_in(self, start: float, end: float) -> int:
+        return sum(1 for t in self.failure_times if start <= t < end)
+
+
+# ----------------------------------------------------------------------
+# server applications
+# ----------------------------------------------------------------------
+class BackEndApp:
+    """Serves Work on a server's domain-internal adapter."""
+
+    def __init__(self, host, nic, service_time: float = 0.005) -> None:
+        self.host = host
+        self.nic = nic
+        self.sim = host.sim
+        self.service_time = service_time
+        self.served = 0
+        nic.app_handler = self._on_frame
+
+    def _on_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, Work):
+            self.sim.schedule(self.service_time, self._finish, msg)
+
+    def _finish(self, msg: Work) -> None:
+        if self.host.crashed:
+            return
+        self.served += 1
+        self.nic.send(msg.front_end, WorkDone(req_id=msg.req_id, worker=self.nic.ip),
+                      size=128)
+
+
+class FrontEndApp:
+    """Accepts Requests on the dispatcher VLAN, farms Work out on the
+    domain VLAN, and answers the dispatcher.
+
+    Worker selection uses the internal adapter's current GulfStream AMG
+    view — the live membership is the service directory, which is the
+    architectural point of running GulfStream underneath.
+    """
+
+    def __init__(self, host, dispatch_nic, internal_nic,
+                 work_timeout: float = 1.0) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.dispatch_nic = dispatch_nic
+        self.internal_nic = internal_nic
+        self.work_timeout = work_timeout
+        self._rr = 0
+        #: req_id -> (client, retry event)
+        self._pending: Dict[int, tuple] = {}
+        self.forwarded = 0
+        self.served_locally = 0
+        dispatch_nic.app_handler = self._on_dispatch_frame
+        internal_nic.app_handler = self._on_internal_frame
+
+    # -- worker directory --------------------------------------------------
+    def _workers(self) -> List[IPAddress]:
+        proto = None
+        if self.host.daemon is not None:
+            proto = self.host.daemon.protocol_for(self.internal_nic.ip)
+        if proto is None or proto.view is None:
+            return []
+        return [m.ip for m in proto.view.members if m.ip != self.internal_nic.ip]
+
+    # -- request path -------------------------------------------------------
+    def _on_dispatch_frame(self, frame) -> None:
+        msg = frame.payload
+        if not isinstance(msg, Request):
+            return
+        workers = self._workers()
+        if not workers:
+            # no known peers: serve locally (a domain of one still serves)
+            self.served_locally += 1
+            self.dispatch_nic.send(
+                msg.client, Response(req_id=msg.req_id, server=self.dispatch_nic.ip),
+                size=256,
+            )
+            return
+        worker = workers[self._rr % len(workers)]
+        self._rr += 1
+        self.forwarded += 1
+        self._pending[msg.req_id] = (msg.client, None)
+        self.internal_nic.send(worker, Work(req_id=msg.req_id,
+                                            front_end=self.internal_nic.ip), size=128)
+        self.sim.schedule(self.work_timeout, self._work_timeout, msg.req_id)
+
+    def _on_internal_frame(self, frame) -> None:
+        msg = frame.payload
+        if isinstance(msg, Work):
+            # front ends are servers too: serve directly
+            self.sim.schedule(0.005, self._serve_peer, msg)
+            return
+        if not isinstance(msg, WorkDone):
+            return
+        entry = self._pending.pop(msg.req_id, None)
+        if entry is None:
+            return
+        client, _ = entry
+        self.dispatch_nic.send(
+            client, Response(req_id=msg.req_id, server=self.dispatch_nic.ip), size=256
+        )
+
+    def _serve_peer(self, msg: Work) -> None:
+        if not self.host.crashed:
+            self.served_locally += 1
+            self.internal_nic.send(msg.front_end,
+                                   WorkDone(req_id=msg.req_id, worker=self.internal_nic.ip),
+                                   size=128)
+
+    def _work_timeout(self, req_id: int) -> None:
+        # drop it: the dispatcher's own timeout handles client-side retry
+        self._pending.pop(req_id, None)
+
+
+class RequestDispatcher:
+    """Issues requests to a domain's front ends and keeps the score."""
+
+    def __init__(
+        self,
+        host,
+        nic,
+        front_ends: List[IPAddress],
+        rate: float = 50.0,
+        timeout: float = 2.0,
+        max_retries: int = 1,
+        seed_name: str = "dispatcher",
+    ) -> None:
+        if not front_ends:
+            raise ValueError("a dispatcher needs at least one front end")
+        self.host = host
+        self.nic = nic
+        self.sim = host.sim
+        self.front_ends = list(front_ends)
+        self.rate = rate
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.stats = RequestStats()
+        self.rng = self.sim.rng.stream(f"requests/{seed_name}")
+        self._rr = 0
+        #: req_id -> (issued_at, retries_left, timeout event)
+        self._inflight: Dict[int, tuple] = {}
+        self._timer: Optional[Timer] = None
+        nic.app_handler = self._on_frame
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = Timer(self.sim, 1.0 / self.rate, self._issue,
+                                initial_delay=float(self.rng.uniform(0, 1.0 / self.rate)))
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def _issue(self) -> None:
+        req_id = next(_req_ids)
+        self.stats.issued += 1
+        self._send(req_id, self.max_retries, first=True)
+
+    def _send(self, req_id: int, retries_left: int, first: bool = False) -> None:
+        target = self.front_ends[self._rr % len(self.front_ends)]
+        self._rr += 1
+        issued_at = self._inflight[req_id][0] if req_id in self._inflight else self.sim.now
+        ev = self.sim.schedule(self.timeout, self._on_timeout, req_id)
+        self._inflight[req_id] = (issued_at, retries_left, ev)
+        self.nic.send(target, Request(req_id=req_id, client=self.nic.ip), size=256)
+
+    def _on_timeout(self, req_id: int) -> None:
+        entry = self._inflight.pop(req_id, None)
+        if entry is None:
+            return
+        issued_at, retries_left, _ = entry
+        if retries_left > 0:
+            # fail over to the next front end (real dispatcher behaviour)
+            self.stats.retried += 1
+            self._inflight[req_id] = (issued_at, retries_left, None)
+            self._send(req_id, retries_left - 1)
+        else:
+            self.stats.failed += 1
+            self.stats.failure_times.append(self.sim.now)
+
+    def _on_frame(self, frame) -> None:
+        msg = frame.payload
+        if not isinstance(msg, Response):
+            return
+        entry = self._inflight.pop(msg.req_id, None)
+        if entry is None:
+            return  # late duplicate after timeout
+        issued_at, _, ev = entry
+        if ev is not None:
+            ev.cancel()
+        self.stats.completed += 1
+        self.stats.latencies.append(self.sim.now - issued_at)
+
+
+# ----------------------------------------------------------------------
+# deployment helper
+# ----------------------------------------------------------------------
+def deploy_domain_service(
+    farm,
+    domain: str,
+    rate: float = 50.0,
+    dispatcher_node: Optional[str] = None,
+    timeout: float = 2.0,
+    service_time: float = 0.005,
+    include_spares: bool = True,
+) -> RequestDispatcher:
+    """Wire a full service onto one domain of a built Océano farm.
+
+    Installs a :class:`BackEndApp` on every back end, a
+    :class:`FrontEndApp` on every front end, and a
+    :class:`RequestDispatcher` on a dispatcher node targeting the domain's
+    front ends. With ``include_spares`` (the default) spare-pool nodes get
+    the back-end application too — Océano changes a moved node's
+    "personality (... operating system, applications and data)" before the
+    VLAN move, so a spare arriving in the domain must already serve.
+    Returns the dispatcher (call ``.start()`` after the farm stabilizes).
+    """
+    from repro.farm.domain import DISPATCH_VLAN
+
+    internal_vlan = farm.domain_vlans[domain]
+    fes, bes = [], []
+    for name in farm.domain_nodes[domain]:
+        host = farm.hosts[name]
+        by_vlan = {nic.port.vlan: nic for nic in host.adapters if nic.port is not None}
+        if DISPATCH_VLAN in by_vlan:
+            fes.append((host, by_vlan[DISPATCH_VLAN], by_vlan[internal_vlan]))
+        elif internal_vlan in by_vlan:
+            bes.append((host, by_vlan[internal_vlan]))
+    if not fes:
+        raise ValueError(f"domain {domain} has no front ends")
+    for host, nic in bes:
+        BackEndApp(host, nic, service_time=service_time)
+    if include_spares:
+        for name in farm.spare_nodes:
+            host = farm.hosts[name]
+            if len(host.adapters) > 1:
+                BackEndApp(host, host.adapters[1], service_time=service_time)
+    for host, dispatch_nic, internal_nic in fes:
+        FrontEndApp(host, dispatch_nic, internal_nic, work_timeout=timeout / 2)
+    disp_name = dispatcher_node or next(n for n in farm.hosts if n.startswith("dispatch"))
+    disp_host = farm.hosts[disp_name]
+    disp_nic = next(n for n in disp_host.adapters
+                    if n.port is not None and n.port.vlan == DISPATCH_VLAN)
+    return RequestDispatcher(
+        disp_host, disp_nic,
+        front_ends=[nic.ip for _, nic, _ in fes],
+        rate=rate, timeout=timeout, seed_name=f"{domain}-dispatch",
+    )

@@ -1,0 +1,83 @@
+"""GulfStream — the paper's primary contribution.
+
+The package implements the full protocol stack described in the paper:
+
+* **Topology discovery** (§2): per-adapter BEACON multicast on a well-known
+  group, deferral to the highest-IP adapter, Adapter Membership Group (AMG)
+  formation / join / merge via two-phase commit, with only group leaders
+  beaconing after formation.
+* **Failure detection** (§3): logical-ring heartbeating (unidirectional or
+  bidirectional), loopback self-tests before blaming a silent neighbour,
+  consensus of both neighbours, leader verification by direct probe,
+  second-ranked takeover on leader death, and the subgroup-heartbeating
+  scalability extension of §4.2.
+* **GulfStream Central** (§2.2, §3): the admin-AMG leader's special role —
+  delta-based membership reports up the hierarchy, node/switch/router event
+  correlation, configuration-database verification, domain-move inference
+  with suppression of expected moves, and failure-notification publishing.
+* **Dynamic reconfiguration** (§3.1): moving nodes between domains by
+  rewriting switch VLANs through the SNMP console and riding out the
+  resulting failure/rejoin cascade.
+
+Entry points: create a :class:`~repro.gulfstream.daemon.GulfStreamDaemon`
+per :class:`~repro.node.Host` (the farm builder in :mod:`repro.farm` does
+this for you), start them, and run the simulator.
+"""
+
+from repro.gulfstream.params import GSParams
+from repro.gulfstream.messages import (
+    Beacon,
+    GroupHint,
+    Commit,
+    Heartbeat,
+    MemberInfo,
+    MembershipReport,
+    MergeInfo,
+    MergeRequest,
+    Prepare,
+    PrepareAck,
+    Probe,
+    ProbeAck,
+    SelfFault,
+    Suspect,
+    SuspectAck,
+    SubgroupPoll,
+    SubgroupPollAck,
+)
+from repro.gulfstream.amg import AMGView, choose_leader
+from repro.gulfstream.daemon import GulfStreamDaemon
+from repro.gulfstream.central import GulfStreamCentral
+from repro.gulfstream.configdb import ConfigDatabase, ExpectedAdapter, Inconsistency
+from repro.gulfstream.notify import Notification, NotificationBus
+from repro.gulfstream.reconfig import ReconfigurationManager
+
+__all__ = [
+    "AMGView",
+    "Beacon",
+    "GroupHint",
+    "Commit",
+    "ConfigDatabase",
+    "ExpectedAdapter",
+    "GSParams",
+    "GulfStreamCentral",
+    "GulfStreamDaemon",
+    "Heartbeat",
+    "Inconsistency",
+    "MemberInfo",
+    "MembershipReport",
+    "MergeInfo",
+    "MergeRequest",
+    "Notification",
+    "NotificationBus",
+    "Prepare",
+    "PrepareAck",
+    "Probe",
+    "ProbeAck",
+    "ReconfigurationManager",
+    "SelfFault",
+    "SubgroupPoll",
+    "SubgroupPollAck",
+    "Suspect",
+    "SuspectAck",
+    "choose_leader",
+]

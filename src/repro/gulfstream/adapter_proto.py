@@ -1,0 +1,994 @@
+"""Per-adapter protocol state machine.
+
+One :class:`AdapterProtocol` instance runs for each network adapter of each
+node — the daemon "discovers and monitors all adapters on a node" and each
+adapter independently joins the AMG of its broadcast segment (§2.1).
+
+State machine::
+
+    BEACONING --(phase end, I have highest IP)--> coordinate formation 2PC
+    BEACONING --(phase end, someone else wins)--> WAIT_FORM
+    WAIT_FORM --(Commit arrives)----------------> MEMBER / LEADER
+    WAIT_FORM --(timeout)-----------------------> BEACONING (short re-beacon)
+    MEMBER    --(commit demotes/absorbs)--------> MEMBER
+    MEMBER    --(leader death, I'm successor)---> coordinate takeover 2PC
+    MEMBER    --(orphaned: total silence and no
+                 leader contact)-----------------> LEADER of a singleton
+    LEADER    --(merge with higher leader)------> MEMBER
+
+After formation only the leader keeps multicasting and listening for
+BEACONs (§2.1); joins and merges are leader-initiated two-phase commits;
+deaths are declared only after verification (§3); and every membership
+change flows to GulfStream Central through the node's administrative
+adapter (§2.2, Figure 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Dict, Optional, Set, TYPE_CHECKING
+
+from repro.net.addressing import IPAddress
+from repro.gulfstream.amg import AMGView, choose_leader, rank_members
+from repro.gulfstream.heartbeat import RingHeartbeat
+from repro.gulfstream.messages import (
+    Beacon,
+    Commit,
+    GroupHint,
+    Heartbeat,
+    MemberInfo,
+    MembershipReport,
+    MergeInfo,
+    MergeRequest,
+    Prepare,
+    PrepareAck,
+    Probe,
+    ProbeAck,
+    SelfFault,
+    SubgroupPoll,
+    SubgroupPollAck,
+    Suspect,
+    SuspectAck,
+)
+from repro.gulfstream.params import GSParams
+from repro.gulfstream.subgroups import SubgroupHeartbeat
+from repro.gulfstream.two_phase import CommitCoordinator
+from repro.sim.process import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gulfstream.daemon import GulfStreamDaemon
+
+__all__ = ["AdapterProtocol", "AdapterState"]
+
+
+class AdapterState(enum.Enum):
+    BOOT = "boot"
+    BEACONING = "beaconing"
+    WAIT_FORM = "wait_form"
+    MEMBER = "member"
+    LEADER = "leader"
+    STOPPED = "stopped"
+
+
+@dataclass
+class _Verification:
+    """Leader-side in-flight verification of a suspected adapter."""
+
+    suspect: IPAddress
+    reporters: Set[IPAddress] = dc_field(default_factory=set)
+    window_event: Any = None
+
+
+class AdapterProtocol:
+    """The GulfStream protocol instance for one adapter."""
+
+    def __init__(self, daemon: "GulfStreamDaemon", nic, params: GSParams) -> None:
+        self.daemon = daemon
+        self.nic = nic
+        self.params = params
+        self.sim = daemon.sim
+        self.host = daemon.host
+        self.os = daemon.host.os
+        self.state = AdapterState.BOOT
+        #: restart generation; scheduled callbacks from older generations
+        #: are ignored, making stop()/start() safe at any instant
+        self.gen = 0
+        self.epoch = 0
+        self.view: Optional[AMGView] = None
+        self.hb = None
+        self.peers: Dict[IPAddress, MemberInfo] = {}
+        self.coordinator: Optional[CommitCoordinator] = None
+        self.pending_prepare: Optional[Prepare] = None
+        self.pending_joins: Dict[IPAddress, MemberInfo] = {}
+        self.pending_deaths: Set[IPAddress] = set()
+        self.verifications: Dict[IPAddress, _Verification] = {}
+        self._epoch_floor = 0
+        self._change_dirty = False
+        self._beacon_timer: Optional[Timer] = None
+        self._probe_nonce = 0
+        self._probe_waiters: Dict[int, tuple] = {}
+        self._suspect_seq = 0
+        self._outstanding_suspects: Dict[int, tuple] = {}
+        self._leader_unreachable = False
+        self._last_leader_contact = 0.0
+        self._takeover_pending = False
+        self._merge_req_sent: Dict[IPAddress, float] = {}
+        self._hint_sent: Dict[IPAddress, float] = {}
+        #: when each current member entered the view (leader uses this to
+        #: distinguish a restarted member's beacons from in-flight relics)
+        self._member_since: Dict[IPAddress, float] = {}
+        # reporting state (leader role)
+        self._declared_stable = False
+        self._stable_event = None
+        self._report_event = None
+        self._report_retry = None
+        self._last_reported: Optional[Set[IPAddress]] = None
+        self._removed_since_report: Set[IPAddress] = set()
+
+    # ------------------------------------------------------------------
+    # identity & plumbing
+    # ------------------------------------------------------------------
+    @property
+    def ip(self) -> IPAddress:
+        return self.nic.ip
+
+    @property
+    def is_admin_adapter(self) -> bool:
+        """Adapter 0 is the administrative adapter by convention (§2.2)."""
+        return self.nic.index == 0
+
+    def my_info(self) -> MemberInfo:
+        return MemberInfo(
+            ip=self.ip,
+            node=self.host.name,
+            adapter_index=self.nic.index,
+            admin_eligible=self.is_admin_adapter and self.host.admin_eligible,
+        )
+
+    def trace(self, category: str, **data: Any) -> None:
+        self.sim.trace.emit(self.sim.now, category, self.nic.name, **data)
+
+    def send(self, dst: IPAddress, payload: Any, size: Optional[int] = None) -> bool:
+        return self.nic.send(dst, payload, size=size or self.params.size_control)
+
+    def _later(self, delay: float, fn, *args):
+        gen = self.gen
+        return self.sim.schedule(delay, self._guarded, gen, fn, args)
+
+    def _guarded(self, gen: int, fn, args) -> None:
+        if gen == self.gen and self.state is not AdapterState.STOPPED:
+            fn(*args)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the discovery protocol on this adapter."""
+        self.gen += 1
+        self.state = AdapterState.BEACONING
+        self.peers.clear()
+        self.epoch = 0
+        self.view = None
+        self.trace("gs.start")
+        self._beacon_timer = Timer(
+            self.sim,
+            self.params.beacon_interval,
+            self._beacon_tick,
+            initial_delay=min(0.05, self.params.beacon_interval / 2),
+        )
+        # The paper measured the beaconing timer being set 1-2 s late
+        # because the daemon processes other start-up events first; the
+        # stagger extends the effective phase by that much.
+        stagger = self.os.beacon_stagger()
+        self._later(stagger + self.params.beacon_duration, self._end_beacon_phase)
+
+    def stop(self) -> None:
+        """Tear everything down (node crash or daemon shutdown)."""
+        self.gen += 1
+        self.state = AdapterState.STOPPED
+        if self._beacon_timer is not None:
+            self._beacon_timer.cancel()
+            self._beacon_timer = None
+        if self.hb is not None:
+            self.hb.stop()
+            self.hb = None
+        if self.coordinator is not None:
+            self.coordinator.cancel()
+            self.coordinator = None
+        self.verifications.clear()
+        self._probe_waiters.clear()
+        self._outstanding_suspects.clear()
+        self.trace("gs.stop")
+
+    # ------------------------------------------------------------------
+    # beaconing & discovery (§2.1)
+    # ------------------------------------------------------------------
+    def _beacon_tick(self) -> None:
+        if self.state in (AdapterState.BEACONING, AdapterState.WAIT_FORM):
+            msg = Beacon(info=self.my_info(), is_leader=False, epoch=self.epoch)
+        elif self.state is AdapterState.LEADER:
+            msg = Beacon(
+                info=self.my_info(),
+                is_leader=True,
+                epoch=self.epoch,
+                group_size=self.view.size if self.view else 1,
+            )
+        else:
+            return
+        self.nic.multicast(msg, size=self.params.size_beacon)
+
+    def _end_beacon_phase(self) -> None:
+        if self.state is not AdapterState.BEACONING:
+            return
+        # thread-switch lag before the collected information is examined
+        self._later(self.os.phase_lag(), self._form_group)
+
+    def _form_group(self) -> None:
+        if self.state is not AdapterState.BEACONING:
+            return
+        if not self.nic.loopback_test():
+            # a sick adapter must not form (and report) a phantom group;
+            # keep re-beaconing so a repaired adapter joins normally
+            self.trace("gs.adapter.sick")
+            self.peers.clear()
+            self._later(self.params.orphan_timeout, self._end_beacon_phase)
+            return
+        candidates = dict(self.peers)
+        candidates[self.ip] = self.my_info()
+        winner = choose_leader(candidates.values())
+        self.trace("gs.phase.end", peers=len(self.peers), winner=str(winner.ip))
+        if winner.ip == self.ip:
+            # I have the highest IP: undertake the two-phase commit (§2.1)
+            self._coordinate(list(candidates.values()), reason="formation")
+        else:
+            self.state = AdapterState.WAIT_FORM
+            self._later(self.params.form_timeout, self._form_timeout)
+
+    def _form_timeout(self) -> None:
+        if self.state is not AdapterState.WAIT_FORM:
+            return
+        # the expected coordinator never committed us; re-beacon briefly
+        self.trace("gs.form.timeout")
+        self.state = AdapterState.BEACONING
+        self.peers.clear()
+        self._later(self.params.rebeacon_duration, self._end_beacon_phase)
+
+    def _on_beacon(self, msg: Beacon) -> None:
+        if msg.info.ip == self.ip:
+            return
+        if self.state in (AdapterState.BEACONING, AdapterState.WAIT_FORM):
+            self.peers[msg.info.ip] = msg.info
+            if msg.epoch > self._epoch_floor:
+                self._epoch_floor = msg.epoch
+            return
+        if self.state is not AdapterState.LEADER:
+            # after formation only the leader listens for BEACONs (§2.1)
+            return
+        assert self.view is not None
+        if msg.is_leader:
+            if self.view.contains(msg.info.ip):
+                if msg.epoch < self.epoch:
+                    # a stale in-flight beacon from someone we absorbed
+                    return
+                # a *current* member claiming independent leadership: it
+                # split off (orphaned, or believes it was dropped). Remove
+                # it from our view and let the merge path re-absorb its
+                # group — resolving the limbo deterministically.
+                self.trace("gs.member.split", who=str(msg.info.ip))
+                self.pending_deaths.add(msg.info.ip)
+                self._kick_membership_change()
+            winner = choose_leader([self.my_info(), msg.info])
+            if winner.ip == self.ip:
+                self._request_merge(msg)
+            # else: the other leader heard our beacon and will request
+        else:
+            # an adapter in its discovery phase: bring it in (§2.1 "allows
+            # new adapters to join an already existing group")
+            if self.view.contains(msg.info.ip):
+                # A member in good standing never beacons — unless this is
+                # an in-flight relic from just before it was committed
+                # (grace window), it restarted so quickly nobody noticed
+                # the crash. Remove the stale membership; its next beacon
+                # joins it afresh.
+                joined = self._member_since.get(msg.info.ip, 0.0)
+                if self.sim.now - joined > 2 * self.params.beacon_interval:
+                    self.trace("gs.member.restarted", who=str(msg.info.ip))
+                    self.pending_deaths.add(msg.info.ip)
+                    self._kick_membership_change()
+            elif msg.info.ip not in self.pending_joins:
+                self.trace("gs.join.seen", who=str(msg.info.ip))
+                self.pending_joins[msg.info.ip] = msg.info
+                if msg.epoch > self._epoch_floor:
+                    self._epoch_floor = msg.epoch
+                self._kick_membership_change()
+
+    # ------------------------------------------------------------------
+    # merging (§2.1)
+    # ------------------------------------------------------------------
+    def _request_merge(self, their_beacon: Beacon) -> None:
+        now = self.sim.now
+        last = self._merge_req_sent.get(their_beacon.info.ip, -1e9)
+        if now - last < 2 * self.params.beacon_interval:
+            return
+        self._merge_req_sent[their_beacon.info.ip] = now
+        self.trace("gs.merge.request", to=str(their_beacon.info.ip))
+        self.send(their_beacon.info.ip, MergeRequest(sender=self.ip, epoch=self.epoch))
+
+    def _on_merge_request(self, msg: MergeRequest) -> None:
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        reply = MergeInfo(sender=self.ip, epoch=self.epoch, members=self.view.members)
+        self.send(
+            msg.sender, reply, size=self.params.membership_msg_size(self.view.size)
+        )
+
+    def _on_merge_info(self, msg: MergeInfo) -> None:
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        new = [m for m in msg.members if not self.view.contains(m.ip)]
+        if not new:
+            return
+        self.trace("gs.merge.absorb", count=len(new), from_leader=str(msg.sender))
+        for m in new:
+            self.pending_joins[m.ip] = m
+        if msg.epoch > self._epoch_floor:
+            self._epoch_floor = msg.epoch
+        self._kick_membership_change()
+
+    # ------------------------------------------------------------------
+    # two-phase commit plumbing
+    # ------------------------------------------------------------------
+    def _next_epoch(self) -> int:
+        return max(self.epoch, self._epoch_floor) + 1
+
+    def _coordinate(
+        self, members, reason: str, epoch: Optional[int] = None, fresh_group: bool = False
+    ) -> None:
+        if self.coordinator is not None and not self.coordinator.finished:
+            self._change_dirty = True
+            return
+        keep_key = "" if (fresh_group or self.view is None) else self.view.group_key
+        self.coordinator = CommitCoordinator(
+            self,
+            members,
+            epoch if epoch is not None else self._next_epoch(),
+            reason,
+            lambda view, r=reason: self._on_committed(view, r),
+            group_key=keep_key,
+        )
+
+    def _on_committed(self, view: AMGView, reason: str) -> None:
+        self.coordinator = None
+        self._install_view(view, reason)
+
+    def _kick_membership_change(self) -> None:
+        """Fold queued joins/deaths into one recommit (leader only)."""
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        if self.coordinator is not None and not self.coordinator.finished:
+            self._change_dirty = True
+            return
+        self.pending_deaths = {ip for ip in self.pending_deaths if self.view.contains(ip)}
+        self.pending_joins = {
+            ip: m for ip, m in self.pending_joins.items() if not self.view.contains(ip)
+        }
+        if not self.pending_deaths and not self.pending_joins:
+            return
+        members = list(self.view.without(self.pending_deaths))
+        members.extend(self.pending_joins.values())
+        reason = "death" if self.pending_deaths else "join"
+        self.pending_deaths = set()
+        self.pending_joins = {}
+        self._change_dirty = False
+        self._coordinate(members, reason)
+
+    def _on_prepare(self, msg: Prepare) -> None:
+        if not any(m.ip == self.ip for m in msg.members):
+            return
+        ok = msg.epoch > self.epoch
+        hint = self.epoch
+        if ok and self.pending_prepare is not None:
+            pk = (self.pending_prepare.epoch, int(self.pending_prepare.coordinator))
+            nk = (msg.epoch, int(msg.coordinator))
+            if pk > nk:
+                ok = False
+                hint = max(hint, self.pending_prepare.epoch)
+        if ok and self.coordinator is not None and not self.coordinator.finished:
+            mine = (self.coordinator.epoch, int(self.ip))
+            theirs = (msg.epoch, int(msg.coordinator))
+            if mine > theirs:
+                ok = False
+                hint = max(hint, self.coordinator.epoch)
+            else:
+                # a stronger coordinator supersedes my round
+                self.coordinator.cancel()
+                self.coordinator = None
+        self.send(
+            msg.coordinator,
+            PrepareAck(
+                sender=self.ip,
+                coordinator=msg.coordinator,
+                epoch=msg.epoch,
+                ok=ok,
+                current_epoch=hint,
+            ),
+        )
+        if ok:
+            self.pending_prepare = msg
+            self._later(3 * self.params.twopc_timeout, self._clear_pending, msg)
+
+    def _clear_pending(self, msg: Prepare) -> None:
+        if self.pending_prepare is msg:
+            self.pending_prepare = None
+
+    def _on_prepare_ack(self, msg: PrepareAck) -> None:
+        if self.coordinator is not None:
+            self.coordinator.on_prepare_ack(msg)
+
+    def _on_commit(self, msg: Commit) -> None:
+        if not any(m.ip == self.ip for m in msg.members):
+            return
+        if self.view is not None and msg.epoch <= self.view.epoch:
+            return
+        self._last_leader_contact = self.sim.now
+        self._install_view(
+            AMGView.build(msg.members, msg.epoch, msg.group_key), msg.reason
+        )
+
+    # ------------------------------------------------------------------
+    # view installation
+    # ------------------------------------------------------------------
+    def _install_view(self, view: AMGView, reason: str) -> None:
+        if self.state is AdapterState.STOPPED:
+            return
+        if self.view is not None and view.epoch < self.view.epoch:
+            return
+        old = self.view
+        self.view = view
+        self.epoch = view.epoch
+        now = self.sim.now
+        previous_ips = set(old.ips) if old is not None else set()
+        self._member_since = {
+            ip: self._member_since.get(ip, now) if ip in previous_ips else now
+            for ip in view.ips
+        }
+        self.pending_prepare = None
+        self._leader_unreachable = False
+        self._takeover_pending = False
+        i_lead = view.leader_ip == self.ip
+        self.trace(
+            "gs.view.install",
+            epoch=view.epoch,
+            size=view.size,
+            leader=str(view.leader_ip),
+            reason=reason,
+            role="leader" if i_lead else "member",
+        )
+        if self.hb is not None:
+            self.hb.stop()
+        self.hb = self._make_hb_engine(view)
+        if i_lead:
+            self.state = AdapterState.LEADER
+            if self._beacon_timer is None or not self._beacon_timer.active:
+                self._beacon_timer = Timer(
+                    self.sim, self.params.beacon_interval, self._beacon_tick,
+                    initial_delay=min(0.05, self.params.beacon_interval / 2),
+                )
+            if old is not None and reason in ("death", "takeover"):
+                self._removed_since_report |= set(old.ips) - set(view.ips)
+            if reason in ("formation", "self_promote", "join", "merge"):
+                # Fresh leadership lineage, or a commit that absorbed
+                # members: the reporting basis may be stale relative to what
+                # other (partition-era) lineages told GSC under this group
+                # key, so force the next report to be a full snapshot. GSC
+                # applies fulls wholesale, which reconciles any interleaved
+                # removals. Deaths stay delta-reported — the steady-state
+                # failure path keeps the paper's "changes only" property.
+                self._last_reported = None
+                self._removed_since_report.clear()
+            self._schedule_report()
+            if self._change_dirty or self.pending_deaths or self.pending_joins:
+                self._kick_membership_change()
+        else:
+            self.state = AdapterState.MEMBER
+            if self._beacon_timer is not None:
+                self._beacon_timer.cancel()
+                self._beacon_timer = None
+            if self.coordinator is not None:
+                self.coordinator.cancel()
+                self.coordinator = None
+            for v in self.verifications.values():
+                if v.window_event is not None:
+                    v.window_event.cancel()
+            self.verifications.clear()
+            if self._stable_event is not None:
+                self._stable_event.cancel()
+                self._stable_event = None
+            if self._report_event is not None:
+                self._report_event.cancel()
+                self._report_event = None
+            self._last_reported = None
+            self._removed_since_report.clear()
+            self.pending_joins.clear()
+            self.pending_deaths.clear()
+            self._last_leader_contact = self.sim.now
+        self.daemon.on_view_installed(self)
+
+    def _make_hb_engine(self, view: AMGView):
+        p = self.params
+        if view.size <= 1:
+            return None
+        if p.subgroup_size is not None and view.size > p.subgroup_size:
+            return SubgroupHeartbeat(
+                self, view, self._on_hb_suspect, self._on_total_silence,
+                on_subgroup_dead=self._on_subgroup_dead,
+            )
+        return RingHeartbeat(self, view, self._on_hb_suspect, self._on_total_silence)
+
+    # ------------------------------------------------------------------
+    # reporting to GulfStream Central (§2.2)
+    # ------------------------------------------------------------------
+    def _schedule_report(self) -> None:
+        if not self._declared_stable:
+            # initial discovery: restart the T_amg quiet window
+            if self._stable_event is not None:
+                self._stable_event.cancel()
+            self._stable_event = self._later(
+                self.os.phase_lag() + self.params.amg_stable_wait, self._declare_stable
+            )
+        else:
+            if self._report_event is None:
+                self._report_event = self._later(
+                    self.params.report_coalesce, self._send_report
+                )
+
+    def _declare_stable(self) -> None:
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        self._declared_stable = True
+        self._stable_event = None
+        self.trace("gs.amg.stable", size=self.view.size, epoch=self.view.epoch)
+        self._later(self.os.phase_lag(), self._send_report)
+
+    def _send_report(self) -> None:
+        self._report_event = None
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        current = set(self.view.ips)
+        if self._last_reported is None:
+            kind = "full"
+            added: tuple = self.view.members
+            removed = tuple(self._removed_since_report - current)
+        else:
+            kind = "delta"
+            added = tuple(m for m in self.view.members if m.ip not in self._last_reported)
+            removed = tuple(
+                (self._last_reported - current) | (self._removed_since_report - current)
+            )
+            if not added and not removed:
+                return
+        report = MembershipReport(
+            leader=self.ip,
+            group_key=self.view.group_key,
+            epoch=self.view.epoch,
+            kind=kind,
+            members=self.view.members if kind == "full" else (),
+            added=added if kind == "delta" else (),
+            removed=removed,
+            node=self.host.name,
+            stable=True,
+        )
+        sent = self.daemon.send_report(
+            report, vlan=self.nic.port.vlan if self.nic.port else None
+        )
+        if sent:
+            self.trace("gs.report.sent", kind=kind, size=self.view.size,
+                       added=len(added), removed=len(removed))
+            self._last_reported = current
+            self._removed_since_report.clear()
+        else:
+            # no route to GSC yet (admin group still forming): retry
+            if self._report_retry is None or not self._report_retry.pending:
+                self._report_retry = self._later(
+                    self.params.report_retry_interval, self._send_report
+                )
+
+    def resend_full_report(self) -> None:
+        """Re-sync a (possibly new) GulfStream Central with full membership."""
+        if self.state is AdapterState.LEADER and self._declared_stable:
+            self._last_reported = None
+            self._send_report()
+
+    # ------------------------------------------------------------------
+    # failure detection: member side (§3)
+    # ------------------------------------------------------------------
+    def _on_hb_suspect(self, suspect: IPAddress) -> None:
+        if self.view is None:
+            return
+        if self.state is AdapterState.LEADER:
+            self._begin_verification(suspect, reporter=self.ip)
+            return
+        if not self.nic.loopback_test():
+            # my own adapter can't receive: don't blame the neighbour (§3)
+            self.trace("gs.selffault")
+            self.send(self.view.leader_ip, SelfFault(reporter=self.ip, epoch=self.epoch))
+            return
+        if suspect == self.view.leader_ip:
+            self._consider_takeover()
+            succ = self.view.successor
+            if succ is not None and succ.ip != self.ip:
+                self._send_suspect(suspect, to=succ.ip)
+        else:
+            self._send_suspect(suspect, to=self.view.leader_ip)
+
+    def _send_suspect(self, suspect: IPAddress, to: IPAddress) -> None:
+        self._suspect_seq += 1
+        seq = self._suspect_seq
+        msg = Suspect(reporter=self.ip, suspect=suspect, epoch=self.epoch, seq=seq)
+        self._outstanding_suspects[seq] = (msg, to, self.params.suspect_retries)
+        self.send(to, msg)
+        self._later(self.params.suspect_retry_interval, self._suspect_retry, seq)
+
+    def _suspect_retry(self, seq: int) -> None:
+        entry = self._outstanding_suspects.get(seq)
+        if entry is None:
+            return
+        msg, to, retries = entry
+        if retries <= 0:
+            del self._outstanding_suspects[seq]
+            if self.view is not None and to == self.view.leader_ip:
+                self.trace("gs.leader.unreachable")
+                self._leader_unreachable = True
+            return
+        self._outstanding_suspects[seq] = (msg, to, retries - 1)
+        self.send(to, msg)
+        self._later(self.params.suspect_retry_interval, self._suspect_retry, seq)
+
+    def _on_suspect_ack(self, msg: SuspectAck) -> None:
+        self._outstanding_suspects.pop(msg.seq, None)
+        if self.view is not None and msg.sender == self.view.leader_ip:
+            self._last_leader_contact = self.sim.now
+            self._leader_unreachable = False
+
+    def _on_total_silence(self) -> None:
+        """Every monitored neighbour silent for orphan_timeout (§3.1 path)."""
+        if self.state is AdapterState.LEADER or self.view is None:
+            return
+        if not self.nic.loopback_test():
+            # *I* am the sick one (loopback failed): claiming leadership on
+            # a dead adapter would report a phantom group through the admin
+            # network. Stay quiet; the engine re-raises while the silence
+            # persists, and a repaired adapter rejoins then.
+            return
+        no_contact = (
+            self._leader_unreachable
+            or self.sim.now - self._last_leader_contact > self.params.orphan_timeout
+        )
+        if no_contact:
+            self._self_promote("orphaned")
+        # else: leader still reachable; its recommit should re-ring us, and
+        # the engine re-raises if the silence persists anyway
+
+    def _self_promote(self, why: str) -> None:
+        """Conclude I should become a group leader and begin beaconing."""
+        if not self.nic.loopback_test():
+            return
+        self.trace("gs.self_promote", why=why)
+        view = AMGView.build([self.my_info()], self._next_epoch())  # fresh key
+        self._install_view(view, reason="self_promote")
+
+    # ------------------------------------------------------------------
+    # leader death & takeover (§2.1)
+    # ------------------------------------------------------------------
+    def _consider_takeover(self) -> None:
+        if self._takeover_pending or self.view is None:
+            return
+        self._takeover_pending = True
+        rank = self.view.rank(self.ip)
+        # second-ranked member (rank 1) verifies first; others stagger in
+        delay = (rank - 1) * self.params.takeover_stagger
+        epoch_at = self.epoch
+        self._later(delay, self._verify_leader_death, epoch_at)
+
+    def _verify_leader_death(self, epoch_at: int) -> None:
+        if self.view is None or self.epoch != epoch_at or self.state is AdapterState.LEADER:
+            self._takeover_pending = False
+            return
+        leader = self.view.leader_ip
+        self._probe(leader, self.params.probe_retries,
+                    lambda ok: self._leader_probe_result(ok, epoch_at))
+
+    def _leader_probe_result(self, ok: bool, epoch_at: int) -> None:
+        self._takeover_pending = False
+        if ok or self.view is None or self.epoch != epoch_at:
+            if ok:
+                self.trace("gs.suspect.false", target="leader")
+            return
+        dead_leader = self.view.leader_ip
+        remaining = list(self.view.without([dead_leader]))
+        if not remaining:
+            return
+        self.trace("gs.leader.dead", old=str(dead_leader))
+        self._takeover_chain(dead_leader, remaining, epoch_at)
+
+    def _takeover_chain(self, dead_leader: IPAddress, candidates, epoch_at: int) -> None:
+        """Find the highest-ranked *reachable* survivor to lead.
+
+        After a partition the nominal successor may sit on the other side;
+        probing down the rank order finds the best candidate in *this*
+        partition (unreachable candidates stay members — the recommit's 2PC
+        drops whoever cannot answer).
+        """
+        if self.view is None or self.epoch != epoch_at or self.state is AdapterState.LEADER:
+            return
+        if not candidates:
+            return
+        winner = choose_leader(candidates)
+        if winner.ip == self.ip:
+            members = list(self.view.without([dead_leader]))
+            self.trace("gs.takeover", old=str(dead_leader), survivors=len(members))
+            self._coordinate(members, reason="takeover")
+            return
+        self._probe(
+            winner.ip,
+            self.params.probe_retries,
+            lambda ok, w=winner, dl=dead_leader, cs=candidates, e=epoch_at: (
+                self._send_suspect(dl, to=w.ip)
+                if ok
+                else self._takeover_chain(dl, [c for c in cs if c.ip != w.ip], e)
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # failure detection: leader side (§3)
+    # ------------------------------------------------------------------
+    def _on_suspect_msg(self, msg: Suspect) -> None:
+        self.send(
+            msg.reporter,
+            SuspectAck(sender=self.ip, reporter=msg.reporter, seq=msg.seq),
+        )
+        if self.state is not AdapterState.LEADER:
+            if self.view is not None and msg.suspect == self.view.leader_ip:
+                # a suspicion about my leader: join the (rank-staggered)
+                # takeover verification — after a partition the designated
+                # successor may be unreachable, so any member may end up
+                # having to act (the rank stagger keeps this orderly)
+                self._consider_takeover()
+            elif self.view is not None:
+                # the reporter addressed me as its leader, but I am not one:
+                # it holds a stale view (e.g. a repaired ex-member pinned to
+                # a superseded epoch). Point it home so it re-joins instead
+                # of being kept alive-but-lost by my acks.
+                self.send(
+                    msg.reporter,
+                    GroupHint(
+                        sender=self.ip,
+                        leader=self.view.leader_ip,
+                        epoch=self.epoch,
+                        member=self.view.contains(msg.reporter),
+                    ),
+                )
+            return
+        assert self.view is not None
+        if not self.view.contains(msg.reporter):
+            # a dropped member still thinks it belongs: point it home
+            self.send(
+                msg.reporter,
+                GroupHint(sender=self.ip, leader=self.ip, epoch=self.epoch, member=False),
+            )
+            return
+        if msg.epoch < self.epoch:
+            # reporter missed a commit; re-send the current view
+            self.send(
+                msg.reporter,
+                Commit(
+                    coordinator=self.ip,
+                    epoch=self.epoch,
+                    members=self.view.members,
+                    reason="resync",
+                ),
+                size=self.params.membership_msg_size(self.view.size),
+            )
+        if msg.suspect == self.ip or not self.view.contains(msg.suspect):
+            return
+        self._begin_verification(msg.suspect, reporter=msg.reporter)
+
+    def _on_group_hint(self, msg: GroupHint) -> None:
+        if self.view is None or self.state is not AdapterState.MEMBER:
+            return
+        if self.view.leader_ip != msg.sender:
+            return
+        if not msg.member or msg.epoch > self.epoch:
+            # either I was dropped from what I believed was my group, or
+            # the group moved on without me (I'm pinned to a superseded
+            # epoch): rejoin through self-promotion + merge
+            self._self_promote("dropped" if not msg.member else "stale")
+
+    def _on_self_fault(self, msg: SelfFault) -> None:
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        if self.view.contains(msg.reporter):
+            self._declare_dead(msg.reporter, "selffault")
+
+    def _begin_verification(self, suspect: IPAddress, reporter: IPAddress) -> None:
+        v = self.verifications.get(suspect)
+        if v is None:
+            v = _Verification(suspect)
+            self.verifications[suspect] = v
+            if self.params.verify_probe:
+                # "the AMG leader first attempts to verify the reported
+                # failure" (§2.1)
+                self._probe(
+                    suspect,
+                    self.params.probe_retries,
+                    lambda ok, s=suspect: self._verification_result(s, ok),
+                )
+            else:
+                v.window_event = self._later(
+                    self.params.consensus_window, self._verification_expired, suspect
+                )
+        v.reporters.add(reporter)
+        if not self.params.verify_probe:
+            self._maybe_declare_by_consensus(suspect)
+
+    def _consensus_needed(self, suspect: IPAddress) -> int:
+        if self.view is None or self.view.size <= 2:
+            return 1
+        if self.params.hb_mode == "bidirectional" and self.params.consensus:
+            return 2
+        return 1
+
+    def _maybe_declare_by_consensus(self, suspect: IPAddress) -> None:
+        v = self.verifications.get(suspect)
+        if v is None:
+            return
+        if len(v.reporters) >= self._consensus_needed(suspect):
+            self._finish_verification(suspect, dead=True, why="consensus")
+
+    def _verification_expired(self, suspect: IPAddress) -> None:
+        v = self.verifications.get(suspect)
+        if v is not None:
+            self._finish_verification(suspect, dead=False, why="window")
+
+    def _verification_result(self, suspect: IPAddress, probe_ok: bool) -> None:
+        if suspect not in self.verifications:
+            return
+        self._finish_verification(suspect, dead=not probe_ok, why="probe")
+
+    def _finish_verification(self, suspect: IPAddress, dead: bool, why: str) -> None:
+        v = self.verifications.pop(suspect, None)
+        if v is None:
+            return
+        if v.window_event is not None:
+            v.window_event.cancel()
+        if dead:
+            self._declare_dead(suspect, why)
+        else:
+            # "If the reported failure proves to be false, it is ignored."
+            self.trace("gs.suspect.false", target=str(suspect), why=why)
+
+    def _declare_dead(self, ip: IPAddress, why: str) -> None:
+        if self.view is None or not self.view.contains(ip):
+            return
+        self.trace("gs.death", target=str(ip), why=why)
+        self.pending_deaths.add(ip)
+        self._kick_membership_change()
+
+    def _on_subgroup_dead(self, ips) -> None:
+        if self.state is not AdapterState.LEADER or self.view is None:
+            return
+        for ip in ips:
+            if self.view.contains(ip) and ip != self.ip:
+                self.pending_deaths.add(ip)
+        self._kick_membership_change()
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+    def _probe(self, target: IPAddress, retries: int, cb) -> None:
+        self._probe_nonce += 1
+        nonce = self._probe_nonce
+        self._probe_waiters[nonce] = (target, retries, cb)
+        self.send(target, Probe(sender=self.ip, nonce=nonce))
+        self._later(self.params.probe_timeout, self._probe_timeout, nonce)
+
+    def _probe_timeout(self, nonce: int) -> None:
+        entry = self._probe_waiters.pop(nonce, None)
+        if entry is None:
+            return
+        target, retries, cb = entry
+        if retries > 0:
+            self._probe(target, retries - 1, cb)
+        else:
+            cb(False)
+
+    def _on_probe(self, msg: Probe) -> None:
+        self.send(msg.sender, ProbeAck(sender=self.ip, nonce=msg.nonce))
+
+    def _on_probe_ack(self, msg: ProbeAck) -> None:
+        entry = self._probe_waiters.pop(msg.nonce, None)
+        if self.view is not None and msg.sender == self.view.leader_ip:
+            self._last_leader_contact = self.sim.now
+            self._leader_unreachable = False
+        if entry is not None:
+            entry[2](True)
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, msg: Heartbeat) -> None:
+        if self.view is not None and msg.sender == self.view.leader_ip:
+            self._last_leader_contact = self.sim.now
+            self._leader_unreachable = False
+        if self.view is not None and not self.view.contains(msg.sender):
+            # someone heartbeats me whom I don't know: they hold a view
+            # that includes me (e.g. I restarted so fast nobody noticed the
+            # crash). Tell them where I actually stand; if I am the leader
+            # they believe in, the hint makes them re-join my new group.
+            now = self.sim.now
+            last = self._hint_sent.get(msg.sender, -1e9)
+            if now - last >= 2 * self.params.hb_interval:
+                self._hint_sent[msg.sender] = now
+                self.send(
+                    msg.sender,
+                    GroupHint(sender=self.ip, leader=self.view.leader_ip,
+                              epoch=self.epoch, member=False),
+                )
+            return
+        if self.hb is not None:
+            self.hb.on_heartbeat(msg.sender, msg.epoch)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def on_frame(self, frame) -> None:
+        """Entry point from the daemon (already OS-delayed)."""
+        if self.state is AdapterState.STOPPED:
+            return
+        p = frame.payload
+        if isinstance(p, Heartbeat):
+            self._on_heartbeat(p)
+        elif isinstance(p, Beacon):
+            self._on_beacon(p)
+        elif isinstance(p, Prepare):
+            self._on_prepare(p)
+        elif isinstance(p, PrepareAck):
+            self._on_prepare_ack(p)
+        elif isinstance(p, Commit):
+            self._on_commit(p)
+        elif isinstance(p, Suspect):
+            self._on_suspect_msg(p)
+        elif isinstance(p, SuspectAck):
+            self._on_suspect_ack(p)
+        elif isinstance(p, SelfFault):
+            self._on_self_fault(p)
+        elif isinstance(p, Probe):
+            self._on_probe(p)
+        elif isinstance(p, ProbeAck):
+            self._on_probe_ack(p)
+        elif isinstance(p, MergeRequest):
+            self._on_merge_request(p)
+        elif isinstance(p, MergeInfo):
+            self._on_merge_info(p)
+        elif isinstance(p, GroupHint):
+            self._on_group_hint(p)
+        elif isinstance(p, SubgroupPoll):
+            if self.hb is not None and isinstance(self.hb, SubgroupHeartbeat):
+                self.hb.on_poll(p)
+        elif isinstance(p, SubgroupPollAck):
+            if self.hb is not None and isinstance(self.hb, SubgroupHeartbeat):
+                self.hb.on_poll_ack(p)
+        elif isinstance(p, MembershipReport):
+            self.daemon.on_report_frame(self, p, src=frame.src)
+        elif type(p).__name__ == "ReportAck":
+            self.daemon.on_report_ack(p)
+        elif type(p).__name__ == "AggregatedReport":
+            self.daemon.on_batch_frame(self, p)
+        else:
+            # not protocol traffic: hand to the application layer, if any
+            self.daemon.on_app_frame(self, frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        v = f", view={self.view}" if self.view else ""
+        return f"AdapterProtocol({self.nic.name}, {self.state.value}{v})"

@@ -1,0 +1,143 @@
+"""Ring heartbeating (§3, Figure 4).
+
+Each member derives its ring neighbours from the committed view's rank
+order. In *unidirectional* mode an adapter heartbeats its right neighbour
+and monitors its left; in *bidirectional* mode (the GulfStream default) it
+does both, enabling the leader's two-neighbour consensus.
+
+The engine is per-adapter and purely local: it sends heartbeats on a timer,
+tracks when each monitored neighbour was last heard, raises a suspicion
+callback after ``hb_miss_threshold`` silent intervals (re-raising
+periodically while the silence persists, so a dismissed-as-false suspicion
+can be retried), and raises a *total-silence* callback when nobody has been
+heard for ``orphan_timeout`` — the trigger for the §3.1 moved-adapter
+self-promotion path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, TYPE_CHECKING
+
+from repro.net.addressing import IPAddress
+from repro.gulfstream.amg import AMGView
+from repro.gulfstream.messages import Heartbeat
+from repro.sim.process import Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gulfstream.adapter_proto import AdapterProtocol
+
+__all__ = ["RingHeartbeat"]
+
+
+class RingHeartbeat:
+    """Heartbeat send/monitor engine for one adapter in one view.
+
+    Parameters
+    ----------
+    proto:
+        Owning adapter protocol (I/O, params, clock).
+    view:
+        The committed view this engine serves; a new commit builds a new
+        engine.
+    on_suspect:
+        Called with the neighbour's IP when it goes silent past threshold.
+    on_total_silence:
+        Called (once per episode) when *every* monitored neighbour has been
+        silent for ``orphan_timeout``.
+    """
+
+    def __init__(
+        self,
+        proto: "AdapterProtocol",
+        view: AMGView,
+        on_suspect: Callable[[IPAddress], None],
+        on_total_silence: Callable[[], None],
+    ) -> None:
+        self.proto = proto
+        self.view = view
+        self.on_suspect = on_suspect
+        self.on_total_silence = on_total_silence
+        p = proto.params
+        left, right = view.neighbors(proto.ip)
+        if proto.params.hb_mode == "bidirectional":
+            self.targets: Set[IPAddress] = {ip for ip in (left, right) if ip is not None}
+            self.monitored: Set[IPAddress] = set(self.targets)
+        else:
+            self.targets = {right} if right is not None else set()
+            self.monitored = {left} if left is not None else set()
+        now = proto.sim.now
+        self.last_heard: Dict[IPAddress, float] = {ip: now for ip in self.monitored}
+        self._suspect_raised_at: Dict[IPAddress, float] = {}
+        self._silence_raised_at: float | None = None
+        self._send_timer: Optional[Timer] = None
+        self._check_timer: Optional[Timer] = None
+        if self.targets or self.monitored:
+            rng = proto.sim.rng.stream(f"hb/{proto.nic.name}")
+            jitter = min(0.05 * p.hb_interval, 0.45 * p.hb_interval)
+            self._send_timer = Timer(
+                proto.sim, p.hb_interval, self._send,
+                initial_delay=float(rng.uniform(0, p.hb_interval)),
+                jitter=jitter, rng=rng,
+            )
+            self._check_timer = Timer(
+                proto.sim, p.hb_interval, self._check,
+                initial_delay=p.hb_interval * (p.hb_miss_threshold + 0.5),
+            )
+        # counters for load accounting
+        self.sent = 0
+        self.received = 0
+
+    # ------------------------------------------------------------------
+    def _send(self) -> None:
+        msg = Heartbeat(sender=self.proto.ip, epoch=self.view.epoch)
+        for ip in self.targets:
+            self.proto.send(ip, msg, size=self.proto.params.size_heartbeat)
+            self.sent += 1
+
+    def on_heartbeat(self, src: IPAddress, epoch: int) -> None:
+        """Feed an incoming heartbeat (the protocol dispatches to us)."""
+        if src in self.monitored:
+            self.last_heard[src] = self.proto.sim.now
+            self._suspect_raised_at.pop(src, None)
+            self._silence_raised_at = None
+            self.received += 1
+
+    def _check(self) -> None:
+        p = self.proto.params
+        now = self.proto.sim.now
+        threshold = p.hb_miss_threshold * p.hb_interval
+        resuspect_after = max(2, p.hb_miss_threshold) * p.hb_interval * 3
+        for ip in self.monitored:
+            silent_for = now - self.last_heard[ip]
+            if silent_for <= threshold:
+                continue
+            raised = self._suspect_raised_at.get(ip)
+            if raised is None or now - raised >= resuspect_after:
+                self._suspect_raised_at[ip] = now
+                self.proto.trace("gs.hb.suspect", neighbor=str(ip), silent=round(silent_for, 3))
+                self.on_suspect(ip)
+        if self.monitored and all(
+            now - t > p.orphan_timeout for t in self.last_heard.values()
+        ):
+            # re-raise periodically while the silence persists, so a
+            # deferred reaction (sick adapter, leader still reachable) gets
+            # re-evaluated against live state rather than a stale snapshot
+            if (
+                self._silence_raised_at is None
+                or now - self._silence_raised_at >= p.orphan_timeout
+            ):
+                self._silence_raised_at = now
+                self.on_total_silence()
+
+    def stop(self) -> None:
+        """Tear the engine down (view superseded or daemon stopping)."""
+        if self._send_timer is not None:
+            self._send_timer.cancel()
+        if self._check_timer is not None:
+            self._check_timer.cancel()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RingHeartbeat({self.proto.nic.name}, targets={len(self.targets)}, "
+            f"monitored={len(self.monitored)})"
+        )

@@ -1,0 +1,90 @@
+"""Failure-notification publish/subscribe.
+
+"GulfStream Central coordinates the dissemination of failure notifications
+to other interested administrative nodes" (§2.2). The bus is a simple typed
+pub/sub: GSC publishes :class:`Notification` records; subscribers register
+per-kind or catch-all callbacks. Every notification is also retained in
+``history`` so experiments can measure detection latency after the fact.
+
+Notification kinds::
+
+    adapter_failed, adapter_recovered,
+    node_failed, node_recovered,
+    switch_failed, switch_recovered,
+    move_detected, move_completed, move_failed,
+    inconsistency, discovery_stable, gsc_activated
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, DefaultDict, List, Optional
+
+__all__ = ["Notification", "NotificationBus"]
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One published event."""
+
+    time: float
+    kind: str
+    subject: str
+    detail: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.4f}] {self.kind:<18} {self.subject:<20} {kv}"
+
+
+class NotificationBus:
+    """Typed pub/sub with history retention."""
+
+    def __init__(self) -> None:
+        self.history: List[Notification] = []
+        self._by_kind: DefaultDict[str, List[Callable[[Notification], None]]] = defaultdict(list)
+        self._all: List[Callable[[Notification], None]] = []
+
+    def subscribe(
+        self, callback: Callable[[Notification], None], kind: Optional[str] = None
+    ) -> None:
+        """Register ``callback`` for one kind, or for everything."""
+        if kind is None:
+            self._all.append(callback)
+        else:
+            self._by_kind[kind].append(callback)
+
+    def publish(self, time: float, kind: str, subject: str, **detail) -> Notification:
+        """Publish and retain one notification."""
+        note = Notification(time=time, kind=kind, subject=subject, detail=detail)
+        self.history.append(note)
+        for cb in self._by_kind.get(kind, ()):
+            cb(note)
+        for cb in self._all:
+            cb(note)
+        return note
+
+    # ------------------------------------------------------------------
+    # query helpers for tests and experiments
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[Notification]:
+        return [n for n in self.history if n.kind == kind]
+
+    def first(self, kind: str, subject: Optional[str] = None) -> Optional[Notification]:
+        for n in self.history:
+            if n.kind == kind and (subject is None or n.subject == subject):
+                return n
+        return None
+
+    def last(self, kind: str, subject: Optional[str] = None) -> Optional[Notification]:
+        for n in reversed(self.history):
+            if n.kind == kind and (subject is None or n.subject == subject):
+                return n
+        return None
+
+    def count(self, kind: str) -> int:
+        return sum(1 for n in self.history if n.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self.history)

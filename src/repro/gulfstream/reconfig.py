@@ -1,0 +1,91 @@
+"""Dynamic domain reconfiguration (§3.1).
+
+"Océano ... dynamically changes the membership of the domains by adding and
+removing nodes. It does so by reconfiguring the switches to redefine VLAN
+membership."
+
+The :class:`ReconfigurationManager` is GulfStream Central's write path: it
+registers the *expected* move with GSC (so the resulting failure reports are
+suppressed), updates the configuration database's expected VLANs, and then
+rewrites the switch port assignments through the SNMP console. Everything
+after that is emergent protocol behaviour: the moved adapters miss
+heartbeats, get removed from their old AMGs, self-promote, beacon, and are
+merged into the AMGs of their new VLANs — and GSC stitches the removal and
+the addition into a single move event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.net.addressing import IPAddress
+from repro.gulfstream.central import GulfStreamCentral
+
+__all__ = ["ReconfigurationManager"]
+
+
+class ReconfigurationManager:
+    """Drives VLAN moves through a (live) GulfStream Central instance."""
+
+    def __init__(self, central: GulfStreamCentral) -> None:
+        if central.console is None or not central.console.authorized:
+            raise RuntimeError(
+                "reconfiguration requires an authorized switch console "
+                "(only the administrative GSC can reconfigure the network, §2.2)"
+            )
+        self.central = central
+        self.console = central.console
+        self.sim = central.sim
+        #: audit: ip -> (time, old_vlan, new_vlan)
+        self.moves_issued: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def move_adapter(self, ip: IPAddress, target_vlan: int) -> None:
+        """Move one adapter to ``target_vlan``.
+
+        Order matters: the expectation must be registered with GSC *before*
+        the switch change, or the burst of failure reports that follows
+        would be published as real failures.
+        """
+        ip = IPAddress(ip)
+        nic = self.console.fabric.nics.get(ip)
+        if nic is None or nic.port is None:
+            raise KeyError(f"no attached adapter {ip}")
+        old_vlan = nic.port.vlan
+        if old_vlan == target_vlan:
+            return
+        self.central.register_expected_move(ip, target_vlan)
+        if self.central.configdb is not None:
+            try:
+                self.central.configdb.set_vlan(ip, target_vlan)
+            except KeyError:
+                pass  # adapter not under expected-topology management
+        self.console.move_adapter(ip, target_vlan)
+        self.moves_issued.append((self.sim.now, ip, old_vlan, target_vlan))
+        self.sim.trace.emit(
+            self.sim.now, "gs.reconfig.move", str(ip), old=old_vlan, new=target_vlan
+        )
+
+    def move_node(
+        self,
+        host,
+        vlan_map: Dict[int, int],
+    ) -> None:
+        """Move a whole node between domains.
+
+        ``vlan_map`` maps *old* VLAN id → *new* VLAN id; every adapter of
+        the node currently on an old VLAN is moved. The administrative
+        adapter is normally left alone (every domain stays attached to the
+        administrative network, Figure 1).
+        """
+        for nic in host.adapters:
+            if nic.port is None or nic.port.vlan is None:
+                continue
+            target = vlan_map.get(nic.port.vlan)
+            if target is not None:
+                self.move_adapter(nic.ip, target)
+
+    def move_adapters(self, ips: Iterable[IPAddress], target_vlan: int) -> None:
+        """Bulk-move several adapters onto one VLAN."""
+        for ip in ips:
+            self.move_adapter(ip, target_vlan)

@@ -1,0 +1,86 @@
+"""IP addressing.
+
+GulfStream breaks every tie by IP address — AMG leadership goes to the
+highest IP in the group, merges are led by the higher-IP leader — so the
+address type needs a total order. :class:`IPAddress` wraps the 32-bit value
+and compares numerically while printing as a dotted quad.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Union
+
+__all__ = ["IPAddress", "MULTICAST"]
+
+
+@total_ordering
+class IPAddress:
+    """An IPv4 address with numeric total ordering.
+
+    Accepts a dotted-quad string or a 32-bit integer. Hashable, so usable as
+    a dict key throughout the protocol state.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, addr: Union[str, int, "IPAddress"]) -> None:
+        if isinstance(addr, IPAddress):
+            self.value = addr.value
+            return
+        if isinstance(addr, int):
+            if not 0 <= addr <= 0xFFFFFFFF:
+                raise ValueError(f"IP integer out of range: {addr!r}")
+            self.value = addr
+            return
+        parts = addr.split(".")
+        if len(parts) != 4:
+            raise ValueError(f"not a dotted quad: {addr!r}")
+        value = 0
+        for p in parts:
+            octet = int(p)
+            if not 0 <= octet <= 255:
+                raise ValueError(f"octet out of range in {addr!r}")
+            value = (value << 8) | octet
+        self.value = value
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 255}.{(v >> 16) & 255}.{(v >> 8) & 255}.{v & 255}"
+
+    def __repr__(self) -> str:
+        return f"IPAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPAddress):
+            return self.value == other.value
+        return NotImplemented
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        if not isinstance(other, IPAddress):
+            return NotImplemented
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __int__(self) -> int:
+        return self.value
+
+
+class _Multicast:
+    """Sentinel destination meaning 'every adapter on the segment'."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Multicast":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MULTICAST"
+
+
+#: The well-known multicast destination used by BEACON messages.
+MULTICAST = _Multicast()

@@ -1,0 +1,119 @@
+"""Link-quality models: latency and loss.
+
+The paper analyses beaconing under load: "if p is the probability of losing
+a message ... the probability of losing k BEACON messages is p^k". To
+reproduce that experiment the segment needs (1) a fixed-probability loss
+model and (2) a load-dependent model where loss rises with the offered
+message rate — the simulator's stand-in for network congestion.
+
+All models share one interface: :meth:`LinkQuality.sample` returns
+``(delivered, latency)`` for one receiver of one frame, drawing from the
+segment's RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["LinkQuality", "PerfectLink", "LoadDependentLoss"]
+
+
+class LinkQuality:
+    """Independent per-receiver loss with uniform latency.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability each individual delivery is dropped (independently per
+        receiver — a multicast may reach some members and miss others, which
+        is exactly the failure scenario the discovery protocol must ride out).
+    latency, jitter:
+        Delivery delay is uniform in ``[latency - jitter, latency + jitter]``
+        (clamped at a small epsilon so delivery is never instantaneous).
+    """
+
+    #: floor on delivery latency; events at t+0 would break causality checks
+    MIN_LATENCY = 1e-6
+
+    def __init__(
+        self,
+        loss_probability: float = 0.0,
+        latency: float = 0.0005,
+        jitter: float = 0.0002,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ValueError(f"loss_probability out of [0,1]: {loss_probability!r}")
+        if latency <= 0:
+            raise ValueError("latency must be positive")
+        if jitter < 0 or jitter > latency:
+            raise ValueError("jitter must satisfy 0 <= jitter <= latency")
+        self.loss_probability = loss_probability
+        self.latency = latency
+        self.jitter = jitter
+
+    def sample(self, rng: np.random.Generator, load: float = 0.0) -> Tuple[bool, float]:
+        """One delivery decision: ``(delivered, latency_seconds)``."""
+        p = self.effective_loss(load)
+        if p > 0.0 and rng.random() < p:
+            return False, 0.0
+        if self.jitter > 0.0:
+            lat = float(rng.uniform(self.latency - self.jitter, self.latency + self.jitter))
+        else:
+            lat = self.latency
+        return True, max(self.MIN_LATENCY, lat)
+
+    def effective_loss(self, load: float) -> float:
+        """Loss probability at the given offered load (msgs/sec). Constant here."""
+        return self.loss_probability
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{type(self).__name__}(p={self.loss_probability}, "
+            f"latency={self.latency}, jitter={self.jitter})"
+        )
+
+
+class PerfectLink(LinkQuality):
+    """Zero loss, fixed small latency. The default for functional tests."""
+
+    def __init__(self, latency: float = 0.0005) -> None:
+        super().__init__(loss_probability=0.0, latency=latency, jitter=0.0)
+
+
+class LoadDependentLoss(LinkQuality):
+    """Loss that grows with offered load beyond a capacity knee.
+
+    Below ``capacity`` messages/sec the link behaves like the base model; at
+    higher loads the loss probability climbs linearly with the overload
+    fraction, capped at ``max_loss``. This is a deliberately simple
+    congestion stand-in: the experiments only need "a heavily loaded network
+    loses more beacons", not a queueing-theoretic model.
+    """
+
+    def __init__(
+        self,
+        base_loss: float = 0.0,
+        capacity: float = 5000.0,
+        overload_slope: float = 0.5,
+        max_loss: float = 0.95,
+        latency: float = 0.0005,
+        jitter: float = 0.0002,
+    ) -> None:
+        super().__init__(loss_probability=base_loss, latency=latency, jitter=jitter)
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if overload_slope < 0:
+            raise ValueError("overload_slope must be non-negative")
+        if not 0.0 <= max_loss <= 1.0:
+            raise ValueError("max_loss out of [0,1]")
+        self.capacity = capacity
+        self.overload_slope = overload_slope
+        self.max_loss = max_loss
+
+    def effective_loss(self, load: float) -> float:
+        if load <= self.capacity:
+            return self.loss_probability
+        overload = (load - self.capacity) / self.capacity
+        return min(self.max_loss, self.loss_probability + self.overload_slope * overload)

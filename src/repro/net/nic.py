@@ -1,0 +1,160 @@
+"""Network adapter (NIC) model.
+
+GulfStream is adapter-centric: groups, heartbeats, and failure reports are
+all about adapters, and node status is only ever *inferred* from adapter
+status. The NIC model therefore carries the failure modes the paper's
+failure-detection discussion distinguishes:
+
+* ``FAIL_SEND`` — the adapter stops transmitting but still receives;
+* ``FAIL_RECV`` — the adapter "ceases to receive messages from the network",
+  the case the paper notes gets *incorrectly blamed on the left neighbour*
+  unless a loopback self-test is run first;
+* ``FAIL_FULL`` — both directions dead (also used for node crashes);
+* ``DISABLED`` — administratively downed by GulfStream Central after a
+  configuration-verification conflict.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.net.addressing import IPAddress, MULTICAST
+from repro.net.packet import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+    from repro.net.switch import Port
+
+__all__ = ["NIC", "NicState"]
+
+
+class NicState(enum.Enum):
+    """Operational state of an adapter."""
+
+    OK = "ok"
+    FAIL_SEND = "fail_send"
+    FAIL_RECV = "fail_recv"
+    FAIL_FULL = "fail_full"
+    DISABLED = "disabled"
+
+
+class NIC:
+    """One network adapter attached to a switch port.
+
+    Sending resolves the adapter's broadcast domain *at send time* through
+    its port's current VLAN, so an SNMP VLAN move takes effect on the very
+    next frame — the daemon is never told, exactly as in the paper's domain
+    reconfiguration story.
+    """
+
+    def __init__(self, ip: IPAddress, node_name: str, index: int) -> None:
+        self.ip = ip
+        #: name of the host this adapter belongs to (for correlation)
+        self.node_name = node_name
+        #: adapter index on its host; index 0 is the administrative adapter
+        #: by the prototype's convention (paper §2.2)
+        self.index = index
+        self.state = NicState.OK
+        self.port: Optional["Port"] = None
+        self.fabric: Optional["Fabric"] = None
+        #: receive callback installed by the daemon; called as handler(frame)
+        self.handler: Optional[Callable[[Frame], None]] = None
+        #: secondary callback for application (non-GulfStream) payloads;
+        #: the daemon demuxes unrecognized frames here (§1: the farm hosts
+        #: real request traffic on the same adapters)
+        self.app_handler: Optional[Callable[[Frame], None]] = None
+        # traffic counters (frames, not bytes)
+        self.sent = 0
+        self.received = 0
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Stable label, e.g. ``node-3/eth1 (10.0.1.7)``."""
+        return f"{self.node_name}/eth{self.index}"
+
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def fail(self, mode: NicState = NicState.FAIL_FULL) -> None:
+        """Inject a failure. ``mode`` must be one of the FAIL_* states."""
+        if mode not in (NicState.FAIL_SEND, NicState.FAIL_RECV, NicState.FAIL_FULL):
+            raise ValueError(f"not a failure mode: {mode!r}")
+        self.state = mode
+        if self.fabric is not None:
+            self.fabric.sim.trace.emit(
+                self.fabric.sim.now, "net.nic.fail", self.name, mode=mode.value
+            )
+
+    def disable(self) -> None:
+        """Administrative disable (GulfStream Central conflict handling)."""
+        self.state = NicState.DISABLED
+        if self.fabric is not None:
+            self.fabric.sim.trace.emit(self.fabric.sim.now, "net.nic.disable", self.name)
+
+    def repair(self) -> None:
+        """Return the adapter to full service."""
+        self.state = NicState.OK
+        if self.fabric is not None:
+            self.fabric.sim.trace.emit(self.fabric.sim.now, "net.nic.repair", self.name)
+
+    @property
+    def can_send(self) -> bool:
+        return self.state in (NicState.OK, NicState.FAIL_RECV)
+
+    @property
+    def can_receive(self) -> bool:
+        return self.state in (NicState.OK, NicState.FAIL_SEND)
+
+    def loopback_test(self) -> bool:
+        """Local self-test: does this adapter's own send+receive path work?
+
+        The paper uses this before blaming a silent left neighbour: a
+        receive-path failure on *this* adapter produces the same symptom as
+        the neighbour dying.
+        """
+        return self.state == NicState.OK
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def send(self, dst: IPAddress, payload: Any, size: int = 64) -> bool:
+        """Unicast ``payload`` to ``dst`` on this adapter's current segment.
+
+        Returns True if the frame made it onto the wire (delivery may still
+        fail downstream); False if this adapter could not transmit.
+        """
+        return self._transmit(Frame(self.ip, dst, payload, size))
+
+    def multicast(self, payload: Any, size: int = 64) -> bool:
+        """Multicast to every adapter on this adapter's current segment."""
+        return self._transmit(Frame(self.ip, MULTICAST, payload, size))
+
+    def _transmit(self, frame: Frame) -> bool:
+        if self.fabric is None or self.port is None:
+            raise RuntimeError(f"{self.name} is not attached to a fabric")
+        if not self.can_send:
+            self.fabric.sim.trace.emit(
+                self.fabric.sim.now, "net.drop.sender", self.name, state=self.state.value
+            )
+            return False
+        self.sent += 1
+        return self.fabric.transmit(self, frame)
+
+    def deliver(self, frame: Frame) -> None:
+        """Called by the fabric when a frame arrives (post-latency)."""
+        if not self.can_receive:
+            if self.fabric is not None:
+                self.fabric.sim.trace.emit(
+                    self.fabric.sim.now, "net.drop.receiver", self.name, state=self.state.value
+                )
+            return
+        self.received += 1
+        if self.handler is not None:
+            self.handler(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NIC({self.name}, {self.ip}, {self.state.value})"

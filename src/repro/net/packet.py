@@ -1,0 +1,38 @@
+"""Network frames.
+
+A :class:`Frame` is the unit the fabric delivers: source/destination
+addresses, an opaque payload (a protocol message object), and a nominal size
+in bytes used by the load and bandwidth accounting. Frames are immutable —
+the same object may be handed to many receivers on a multicast.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from repro.net.addressing import IPAddress, _Multicast
+
+__all__ = ["Frame"]
+
+_frame_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One message on the wire."""
+
+    src: IPAddress
+    dst: Union[IPAddress, _Multicast]
+    payload: Any
+    size: int = 64
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def is_multicast(self) -> bool:
+        return isinstance(self.dst, _Multicast)
+
+    def __str__(self) -> str:
+        kind = type(self.payload).__name__
+        return f"Frame#{self.frame_id} {self.src}->{self.dst} {kind} ({self.size}B)"

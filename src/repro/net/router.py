@@ -1,0 +1,62 @@
+"""Routers: inter-switch trunk devices.
+
+The paper's §3 correlation covers "servers, routers, and network switch
+components". Switches attach adapters directly; a :class:`Router` here is
+the third component class — a device that trunks VLANs *between* switches.
+Its failure mode is the interesting one: segments split along switch
+boundaries ("network partitions" with a hardware cause), the per-partition
+AMGs re-form independently, and GulfStream Central — sitting on one side —
+sees every adapter behind the router go dark, which is exactly the
+correlation signature the paper describes ("if all of the adapters that
+are wired into a router ... are reported as failed, we infer that the
+network equipment has failed").
+
+With no routers registered, a fabric behaves as before: every VLAN is
+fully trunked across all switches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+
+__all__ = ["Router"]
+
+
+class Router:
+    """A trunk device interconnecting a set of switches.
+
+    While healthy, the switches it connects form one connectivity clique
+    (for every VLAN). When it fails, frames between switches that have no
+    alternative healthy router path are dropped by the segments.
+    """
+
+    def __init__(self, name: str, fabric: "Fabric", switches: Iterable[str]) -> None:
+        self.name = name
+        self.fabric = fabric
+        self.switches: Set[str] = set(switches)
+        if len(self.switches) < 2:
+            raise ValueError(f"router {name} must connect at least two switches")
+        self.failed = False
+
+    def fail(self) -> None:
+        """Take the trunk down; inter-switch traffic through it stops."""
+        if self.failed:
+            return
+        self.failed = True
+        self.fabric.invalidate_reachability()
+        self.fabric.sim.trace.emit(self.fabric.sim.now, "net.router.fail", self.name)
+
+    def repair(self) -> None:
+        """Bring the trunk back; partitions heal on the next frames."""
+        if not self.failed:
+            return
+        self.failed = False
+        self.fabric.invalidate_reachability()
+        self.fabric.sim.trace.emit(self.fabric.sim.now, "net.router.repair", self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "FAILED" if self.failed else "ok"
+        return f"Router({self.name}, switches={sorted(self.switches)}, {state})"

@@ -1,0 +1,191 @@
+"""Broadcast segments — one per VLAN.
+
+A :class:`Segment` is the delivery engine for one broadcast domain. It keeps
+the set of attached adapters, applies the link-quality model independently
+per receiver (a multicast can reach some members and miss others), measures
+offered load for the congestion model, and supports *partitioning* — the
+paper's AMG-merge logic exists precisely because network partitions can form
+and heal, leaving independently formed groups that must merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.addressing import IPAddress
+from repro.net.loss import LinkQuality, PerfectLink
+from repro.net.packet import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+    from repro.net.nic import NIC
+
+__all__ = ["Segment"]
+
+
+class Segment:
+    """One VLAN's broadcast domain.
+
+    Parameters
+    ----------
+    fabric:
+        Owning fabric (provides the simulator and trace).
+    vlan:
+        VLAN id this segment realizes.
+    quality:
+        Link-quality model applied per delivery. Defaults to a perfect link.
+    """
+
+    #: width of the load-measurement bucket in seconds
+    LOAD_WINDOW = 1.0
+
+    def __init__(self, fabric: "Fabric", vlan: int, quality: Optional[LinkQuality] = None) -> None:
+        self.fabric = fabric
+        self.vlan = vlan
+        self.quality = quality if quality is not None else PerfectLink()
+        self.members: Dict[IPAddress, "NIC"] = {}
+        #: extra offered load (msgs/sec) injected by the scenario, modelling
+        #: application traffic sharing the segment
+        self.ambient_load = 0.0
+        # islands: None means unpartitioned; otherwise ip -> island id, and
+        # delivery only happens within an island
+        self._islands: Optional[Dict[IPAddress, int]] = None
+        # measured-load bucket
+        self._bucket_start = 0.0
+        self._bucket_count = 0
+        self._last_rate = 0.0
+        # counters
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_lost = 0
+        self.bytes_sent = 0
+
+    @property
+    def name(self) -> str:
+        return f"vlan{self.vlan}"
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def join(self, nic: "NIC") -> None:
+        if nic.ip in self.members and self.members[nic.ip] is not nic:
+            raise ValueError(f"duplicate IP {nic.ip} on {self.name}")
+        self.members[nic.ip] = nic
+
+    def leave(self, nic: "NIC") -> None:
+        self.members.pop(nic.ip, None)
+        if self._islands is not None:
+            self._islands.pop(nic.ip, None)
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+    def partition(self, groups: list[list[IPAddress]]) -> None:
+        """Split the segment into isolated islands.
+
+        ``groups`` lists the IPs of each island; members not named fall into
+        an implicit final island. Delivery then only occurs within islands.
+        """
+        mapping: Dict[IPAddress, int] = {}
+        for island, ips in enumerate(groups):
+            for ip in ips:
+                mapping[IPAddress(ip)] = island
+        rest = len(groups)
+        for ip in self.members:
+            mapping.setdefault(ip, rest)
+        self._islands = mapping
+        self.fabric.sim.trace.emit(
+            self.fabric.sim.now, "net.partition", self.name, islands=len(groups) + 1
+        )
+
+    def heal(self) -> None:
+        """Remove the partition; the segment is whole again."""
+        self._islands = None
+        self.fabric.sim.trace.emit(self.fabric.sim.now, "net.heal", self.name)
+
+    @property
+    def partitioned(self) -> bool:
+        return self._islands is not None
+
+    def _same_island(self, a: IPAddress, b: IPAddress) -> bool:
+        if self._islands is None:
+            return True
+        return self._islands.get(a) == self._islands.get(b)
+
+    # ------------------------------------------------------------------
+    # load measurement
+    # ------------------------------------------------------------------
+    def _note_send(self) -> None:
+        now = self.fabric.sim.now
+        if now - self._bucket_start >= self.LOAD_WINDOW:
+            elapsed = max(now - self._bucket_start, self.LOAD_WINDOW)
+            self._last_rate = self._bucket_count / elapsed
+            self._bucket_start = now
+            self._bucket_count = 0
+        self._bucket_count += 1
+
+    @property
+    def offered_load(self) -> float:
+        """Estimated offered load in messages/sec (measured + ambient)."""
+        return self._last_rate + self.ambient_load
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def transmit(self, sender: "NIC", frame: Frame) -> bool:
+        """Deliver ``frame`` from ``sender`` per the segment's semantics.
+
+        Unicast reaches the matching member (if on this segment and in the
+        same island); multicast fans out to every other member. Each
+        receiver's delivery independently samples the quality model.
+        Returns True if the frame was accepted onto the wire.
+        """
+        sim = self.fabric.sim
+        self._note_send()
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+        sim.trace.emit(
+            sim.now, "net.send", sender.name,
+            vlan=self.vlan, kind=type(frame.payload).__name__, mcast=frame.is_multicast,
+        )
+        if frame.is_multicast:
+            targets = [n for ip, n in self.members.items() if n is not sender]
+        else:
+            target = self.members.get(frame.dst)  # type: ignore[arg-type]
+            if target is None or target is sender:
+                sim.trace.emit(sim.now, "net.drop.noroute", sender.name, dst=str(frame.dst))
+                return True  # on the wire, nobody home
+            targets = [target]
+        rng = sim.rng.stream(f"segment/{self.vlan}")
+        load = self.offered_load
+        sender_switch = sender.port.switch.name if sender.port is not None else None
+        for nic in targets:
+            if not self._same_island(sender.ip, nic.ip):
+                continue
+            if nic.port is not None and nic.port.switch.failed:
+                self.frames_lost += 1
+                sim.trace.emit(sim.now, "net.drop.switch", nic.name, switch=nic.port.switch.name)
+                continue
+            if (
+                sender_switch is not None
+                and nic.port is not None
+                and not self.fabric.switches_connected(sender_switch, nic.port.switch.name)
+            ):
+                # the trunk router between these switches is down (§3's
+                # third component class); the VLAN is partitioned along
+                # switch boundaries
+                self.frames_lost += 1
+                sim.trace.emit(sim.now, "net.drop.router", nic.name,
+                               from_switch=sender_switch, to_switch=nic.port.switch.name)
+                continue
+            delivered, latency = self.quality.sample(rng, load)
+            if not delivered:
+                self.frames_lost += 1
+                sim.trace.emit(sim.now, "net.drop.loss", nic.name, vlan=self.vlan)
+                continue
+            self.frames_delivered += 1
+            sim.schedule(latency, nic.deliver, frame)
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Segment({self.name}, members={len(self.members)})"

@@ -1,0 +1,106 @@
+"""SNMP-style switch management console.
+
+The paper: "GulfStream ... manages virtual LAN settings, by reconfiguring
+the network switches via SNMP, to move servers from domain to domain" and
+"access to ... the switch consoles is only through the administrative
+network". We model the console as a thin authorized facade over the fabric:
+GulfStream Central (and only code holding an authorized console) can read
+the wiring table and rewrite port-VLAN assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.fabric import Fabric
+
+__all__ = ["SnmpError", "SwitchConsole"]
+
+
+class SnmpError(RuntimeError):
+    """Raised for unauthorized or invalid console operations."""
+
+
+class SwitchConsole:
+    """Management access to every switch in a fabric.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric whose switches this console manages.
+    authorized:
+        Whether the holder may issue commands. A GulfStream Central running
+        in a partition without administrative access gets an unauthorized
+        console: it can still report failures for its partition but cannot
+        reconfigure the network (paper §2.2).
+    """
+
+    def __init__(self, fabric: Fabric, authorized: bool = True) -> None:
+        self.fabric = fabric
+        self.authorized = authorized
+        #: audit log of (time, op, detail) tuples
+        self.audit: list[tuple[float, str, str]] = []
+
+    def _check(self, op: str) -> None:
+        if not self.authorized:
+            raise SnmpError(f"console not authorized for {op}")
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get_port_vlan(self, switch_name: str, port_index: int) -> Optional[int]:
+        """Current VLAN of a port."""
+        self._check("get_port_vlan")
+        sw = self.fabric.switches.get(switch_name)
+        if sw is None or port_index not in sw.ports:
+            raise SnmpError(f"no such port: {switch_name}/p{port_index}")
+        return sw.ports[port_index].vlan
+
+    def walk_connections(self) -> list[dict]:
+        """The physical wiring table (adapter ↔ switch/port/VLAN).
+
+        This realizes the paper's future-work plan: "GulfStream will
+        independently identify these connections by querying the routers and
+        switches directly using SNMP."
+        """
+        self._check("walk_connections")
+        return self.fabric.connections()
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def set_port_vlan(self, switch_name: str, port_index: int, vlan: int) -> None:
+        """Reassign a port's VLAN — the mechanism behind domain moves."""
+        self._check("set_port_vlan")
+        self.fabric.move_port_vlan(switch_name, port_index, vlan)
+        self.audit.append(
+            (self.fabric.sim.now, "set_port_vlan", f"{switch_name}/p{port_index} -> vlan{vlan}")
+        )
+
+    def disable_adapter(self, ip) -> None:
+        """Administratively disable an adapter (GSC conflict handling, §2.2:
+        "Inconsistencies can be flagged and the affected adapters disabled,
+        for security reasons, until conflicts are resolved")."""
+        self._check("disable_adapter")
+        nic = self.fabric.nics.get(ip)
+        if nic is None:
+            raise SnmpError(f"no attached adapter with IP {ip}")
+        nic.disable()
+        self.audit.append((self.fabric.sim.now, "disable_adapter", str(ip)))
+
+    def enable_adapter(self, ip) -> None:
+        """Re-enable a previously disabled adapter."""
+        self._check("enable_adapter")
+        nic = self.fabric.nics.get(ip)
+        if nic is None:
+            raise SnmpError(f"no attached adapter with IP {ip}")
+        nic.repair()
+        self.audit.append((self.fabric.sim.now, "enable_adapter", str(ip)))
+
+    def move_adapter(self, ip, vlan: int) -> None:
+        """Convenience: move the adapter with address ``ip`` to ``vlan``."""
+        self._check("move_adapter")
+        nic = self.fabric.nics.get(ip)
+        if nic is None or nic.port is None:
+            raise SnmpError(f"no attached adapter with IP {ip}")
+        self.set_port_vlan(nic.port.switch.name, nic.port.index, vlan)

@@ -1,0 +1,90 @@
+"""Switches and ports.
+
+A :class:`Switch` is a set of :class:`Port` objects, each carrying a VLAN
+assignment and at most one attached NIC. Switches can fail as a unit — the
+event-correlation experiment relies on "all adapters wired into one switch
+report dead ⇒ the switch is dead".
+
+VLANs are fabric-global (trunked across switches), so the switch does not
+own segments; it only labels ports. See :mod:`repro.net.fabric`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+    from repro.net.nic import NIC
+
+__all__ = ["Port", "Switch"]
+
+
+class Port:
+    """One switch port: a VLAN label plus an optional attached adapter."""
+
+    __slots__ = ("switch", "index", "vlan", "nic")
+
+    def __init__(self, switch: "Switch", index: int, vlan: Optional[int] = None) -> None:
+        self.switch = switch
+        self.index = index
+        self.vlan = vlan
+        self.nic: Optional["NIC"] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.switch.name}/p{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        who = self.nic.name if self.nic else "-"
+        return f"Port({self.name}, vlan={self.vlan}, nic={who})"
+
+
+class Switch:
+    """A VLAN-capable switch.
+
+    Ports are created lazily by index. Failure silences every attached
+    adapter (frames to or from them are dropped by the fabric) until
+    :meth:`repair`.
+    """
+
+    def __init__(self, name: str, fabric: Optional["Fabric"] = None) -> None:
+        self.name = name
+        self.fabric = fabric
+        self.ports: Dict[int, Port] = {}
+        self.failed = False
+
+    def port(self, index: int) -> Port:
+        """Return (creating if needed) the port at ``index``."""
+        p = self.ports.get(index)
+        if p is None:
+            p = Port(self, index)
+            self.ports[index] = p
+        return p
+
+    def next_free_port(self) -> Port:
+        """Allocate the lowest-index port with no adapter attached."""
+        i = 0
+        while i in self.ports and self.ports[i].nic is not None:
+            i += 1
+        return self.port(i)
+
+    def attached_nics(self) -> list["NIC"]:
+        """Every adapter currently wired into this switch."""
+        return [p.nic for p in self.ports.values() if p.nic is not None]
+
+    def fail(self) -> None:
+        """Take the whole switch down."""
+        self.failed = True
+        if self.fabric is not None:
+            self.fabric.sim.trace.emit(self.fabric.sim.now, "net.switch.fail", self.name)
+
+    def repair(self) -> None:
+        """Bring the switch back."""
+        self.failed = False
+        if self.fabric is not None:
+            self.fabric.sim.trace.emit(self.fabric.sim.now, "net.switch.repair", self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "FAILED" if self.failed else "ok"
+        return f"Switch({self.name}, ports={len(self.ports)}, {state})"

@@ -1,0 +1,18 @@
+"""Server-node substrate.
+
+Hosts carry network adapters and an :class:`~repro.node.osmodel.OSModel`
+that reproduces the paper's measured scheduling overheads: the GulfStream
+prototype was a multi-threaded Java daemon, and the authors attribute their
+δ ≈ 5–6 s discovery overhead to (1) beaconing timers being set 1–2 s late,
+(2) point-to-point two-phase-commit processing, and (3) thread switching and
+being swapped out. All three appear here as explicit, tunable delay sources.
+
+:mod:`repro.node.faults` provides scripted and randomized fault injection —
+node crashes, per-adapter failure modes, switch failures, partitions.
+"""
+
+from repro.node.host import Host
+from repro.node.osmodel import OSModel, OSParams
+from repro.node.faults import FaultInjector, FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "Host", "OSModel", "OSParams"]

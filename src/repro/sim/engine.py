@@ -1,0 +1,190 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a priority queue of :class:`Event` objects keyed by
+``(time, priority, sequence)``. Events scheduled for the same instant fire in
+the order they were scheduled (FIFO), which keeps protocol traces stable and
+debuggable. Cancellation is O(1): the event is flagged and skipped when it
+surfaces.
+
+The engine is deliberately tiny and allocation-light — large farm sweeps
+schedule millions of events, and the paper's experiments (Figure 5) need
+2..55-node farms with three adapters per node to run in well under a second
+each so the benchmark harness can sweep them.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import Trace
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling misuse (negative delays, running twice, ...)."""
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule`.
+
+    Instances are single-shot: once fired or cancelled they stay inert.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"Event(t={self.time:.6f}, fn={getattr(self.fn, '__qualname__', self.fn)}, {state})"
+
+
+class Simulator:
+    """Discrete-event loop with a shared clock, trace, and RNG registry.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the :class:`~repro.sim.rng.RngRegistry`. Two
+        simulators built with the same seed and the same scenario replay the
+        exact same history.
+    trace:
+        Optional pre-built trace (e.g. with category filters); a fresh
+        all-enabled :class:`~repro.sim.trace.Trace` is created otherwise.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.trace = trace if trace is not None else Trace()
+        #: number of events executed so far (monotonic; useful in tests)
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+
+    def schedule_at(
+        self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time!r} < now={self.now!r}"
+            )
+        ev = Event(time, priority, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time; the clock is advanced
+            to exactly ``until``. ``None`` runs until the queue drains.
+        max_events:
+            Safety valve for runaway protocols; raises
+            :class:`SimulationError` when exceeded.
+
+        Returns
+        -------
+        float
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                ev = self._queue[0]
+                if ev.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = ev.time
+                ev.fired = True
+                ev.fn(*ev.args)
+                self.events_executed += 1
+                executed += 1
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway protocol?)"
+                    )
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Simulator(now={self.now:.6f}, pending={self.pending_count()})"

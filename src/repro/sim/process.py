@@ -1,0 +1,95 @@
+"""Timer helpers on top of the raw event queue.
+
+Protocol code wants periodic, cancellable, optionally jittered timers
+(heartbeats, beacon intervals) rather than raw one-shot events. ``Timer``
+provides exactly that; ``delayed`` is sugar for a one-shot with the same
+cancellation surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["Timer", "delayed"]
+
+
+class Timer:
+    """A periodic timer.
+
+    Fires ``fn(*args)`` every ``interval`` seconds, optionally after an
+    ``initial_delay``, optionally with uniform jitter of ±``jitter`` seconds
+    per period (never firing early relative to the previous tick). Stops
+    cleanly on :meth:`cancel`, including from within its own callback.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        initial_delay: Optional[float] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        max_fires: Optional[int] = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        if jitter < 0 or jitter >= interval:
+            raise ValueError("jitter must satisfy 0 <= jitter < interval")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.interval = interval
+        self.fn = fn
+        self.args = args
+        self.jitter = jitter
+        self.rng = rng
+        self.max_fires = max_fires
+        self.fires = 0
+        self._cancelled = False
+        first = interval if initial_delay is None else initial_delay
+        self._event: Optional[Event] = sim.schedule(self._jittered(first), self._fire)
+
+    def _jittered(self, base: float) -> float:
+        if self.jitter == 0.0:
+            return base
+        assert self.rng is not None
+        return max(0.0, base + float(self.rng.uniform(-self.jitter, self.jitter)))
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self.fires += 1
+        self.fn(*self.args)
+        if self._cancelled:
+            return
+        if self.max_fires is not None and self.fires >= self.max_fires:
+            self._cancelled = True
+            self._event = None
+            return
+        self._event = self.sim.schedule(self._jittered(self.interval), self._fire)
+
+    def cancel(self) -> None:
+        """Stop the timer; safe from inside the callback and idempotent."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        """True while the timer will keep firing."""
+        return not self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timer(interval={self.interval}, fires={self.fires}, active={self.active})"
+
+
+def delayed(sim: Simulator, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+    """One-shot convenience wrapper; identical to ``sim.schedule``."""
+    return sim.schedule(delay, fn, *args)

@@ -1,0 +1,123 @@
+"""Structured tracing and counters.
+
+Every subsystem emits :class:`TraceRecord` entries through the simulator's
+shared :class:`Trace`. Records carry a *category* (``"net.drop"``,
+``"gs.commit"``, ...), a *source* label, and a payload dict. Benchmarks
+usually only need the counters; tests assert on the record stream; examples
+pretty-print it.
+
+Recording full payloads for millions of events is wasteful, so categories can
+be disabled (counted but not stored) or the whole record store can be capped.
+Counters are always maintained.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["Trace", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: when, what kind, who, and details."""
+
+    time: float
+    category: str
+    source: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.time:10.4f}] {self.category:<20} {self.source:<24} {kv}"
+
+
+class Trace:
+    """Append-only trace with per-category counters and optional storage.
+
+    Parameters
+    ----------
+    store:
+        If False, nothing is stored — only counters are kept. Benchmarks use
+        this mode.
+    categories:
+        If given, only these categories are *stored* (all are counted).
+    max_records:
+        Hard cap on stored records; older records are kept, newer dropped,
+        and :attr:`truncated` is set. Protects long sweeps from unbounded
+        memory growth.
+    """
+
+    def __init__(
+        self,
+        store: bool = True,
+        categories: Optional[Iterable[str]] = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self.records: list[TraceRecord] = []
+        self.counters: Counter[str] = Counter()
+        self.store = store
+        self.categories = set(categories) if categories is not None else None
+        self.max_records = max_records
+        self.truncated = False
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, source: str, **data: Any) -> None:
+        """Record one event. Cheap when storage is off for the category."""
+        self.counters[category] += 1
+        wanted = self.store and (self.categories is None or category in self.categories)
+        if not wanted and not self._subscribers:
+            return
+        rec = TraceRecord(time, category, source, data)
+        if wanted:
+            if len(self.records) < self.max_records:
+                self.records.append(rec)
+            else:
+                self.truncated = True
+        for sub in self._subscribers:
+            sub(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Call ``fn`` for every record matching the storage filter or not."""
+        self._subscribers.append(fn)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count(self, category: str) -> int:
+        """Total emissions of ``category`` (independent of storage)."""
+        return self.counters[category]
+
+    def count_prefix(self, prefix: str) -> int:
+        """Sum of counters whose category starts with ``prefix``."""
+        return sum(v for k, v in self.counters.items() if k.startswith(prefix))
+
+    def select(self, category: Optional[str] = None, source: Optional[str] = None) -> list[TraceRecord]:
+        """Stored records matching the given category and/or source."""
+        out = self.records
+        if category is not None:
+            out = [r for r in out if r.category == category]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out) if out is self.records else out
+
+    def last(self, category: str) -> Optional[TraceRecord]:
+        """Most recent stored record of ``category``, or None."""
+        for rec in reversed(self.records):
+            if rec.category == category:
+                return rec
+        return None
+
+    def clear(self) -> None:
+        """Drop stored records and counters."""
+        self.records.clear()
+        self.counters.clear()
+        self.truncated = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Trace(stored={len(self.records)}, categories={len(self.counters)})"

@@ -1,0 +1,80 @@
+"""Shared fixtures and scenario helpers.
+
+Tests run with small protocol waits and the ``fast`` OS model so a full
+discovery converges in a few simulated seconds (milliseconds of real time).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.farm.builder import FarmBuilder
+from repro.gulfstream.params import GSParams
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.node.host import Host
+from repro.node.osmodel import OSParams
+from repro.sim.engine import Simulator
+
+#: fast protocol parameters for functional tests
+FAST = GSParams(
+    beacon_duration=1.5,
+    beacon_interval=0.5,
+    amg_stable_wait=1.5,
+    gsc_stable_wait=3.0,
+    form_timeout=3.0,
+)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def fabric(sim) -> Fabric:
+    return Fabric(sim)
+
+
+def make_flat_farm(
+    n_nodes: int,
+    seed: int = 0,
+    params: GSParams = FAST,
+    vlans=(1, 2),
+    eligible=(0,),
+    os_params: OSParams | None = None,
+    quality=None,
+):
+    """A small farm: every node has one adapter per VLAN (VLAN 1 = admin).
+
+    Returns the started-but-not-yet-run Farm.
+    """
+    b = FarmBuilder(
+        seed=seed,
+        params=params,
+        os_params=os_params if os_params is not None else OSParams.fast(),
+        quality=quality,
+    )
+    for i in range(n_nodes):
+        b.add_node(f"node-{i}", list(vlans), admin_eligible=(i in eligible))
+    farm = b.finish()
+    farm.start()
+    return farm
+
+
+def run_stable(farm, timeout: float = 60.0) -> float:
+    """Run the farm to GSC stability, asserting it happens."""
+    t = farm.run_until_stable(timeout=timeout)
+    assert t is not None, "discovery never stabilized"
+    return t
+
+
+def single_segment(sim, n: int, node_prefix: str = "m"):
+    """N bare hosts with one adapter each on VLAN 1 of a fresh fabric."""
+    fab = Fabric(sim)
+    hosts = []
+    for i in range(n):
+        h = Host(sim, f"{node_prefix}{i}", os_params=OSParams.ideal())
+        h.add_adapter(IPAddress(f"10.0.0.{i + 1}"), fab, "sw", 1)
+        hosts.append(h)
+    return fab, hosts

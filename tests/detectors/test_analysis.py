@@ -1,0 +1,68 @@
+"""Closed-form detector formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detectors import analysis
+
+
+def test_ring_load_values():
+    assert analysis.ring_load(10, 1.0, bidirectional=True) == 20.0
+    assert analysis.ring_load(10, 1.0, bidirectional=False) == 10.0
+    assert analysis.ring_load(10, 0.5) == 40.0
+    assert analysis.ring_load(1, 1.0) == 0.0
+
+
+def test_allpairs_quadratic():
+    assert analysis.allpairs_load(10, 1.0) == 90.0
+    assert analysis.allpairs_load(20, 1.0) == 380.0
+
+
+def test_central_poll_linear():
+    assert analysis.central_poll_load(10, 1.0) == 18.0
+
+
+def test_gossip_base_and_escalation():
+    assert analysis.gossip_load(10, 1.0) == 20.0
+    assert analysis.gossip_load(10, 1.0, escalation_rate=0.1, proxies=3) == pytest.approx(32.0)
+
+
+def test_subgroup_load_lower_poll_overhead():
+    flat = analysis.ring_load(100, 1.0)
+    sub = analysis.subgroup_load(100, 10, 1.0, poll_interval=10.0)
+    # same ring traffic + small poll overhead
+    assert flat < sub < flat + 2.0
+
+
+def test_detection_time_formula():
+    assert analysis.detection_time(1.0, 2) == 2.5
+    assert analysis.detection_time(0.5, 1) == 0.75
+
+
+def test_gossip_detection_time_approaches_e_over_e_minus_1():
+    t = analysis.gossip_detection_time(1000, 1.0)
+    assert t == pytest.approx(math.e / (math.e - 1), rel=0.01)
+    assert analysis.gossip_detection_time(1, 1.0) == math.inf
+
+
+def test_p_miss_all_beacons():
+    assert analysis.p_miss_all_beacons(0.1, 3) == pytest.approx(1e-3)
+    assert analysis.p_miss_all_beacons(0.0, 5) == 0.0
+    assert analysis.p_miss_all_beacons(1.0, 5) == 1.0
+    assert analysis.p_miss_all_beacons(0.5, 0) == 1.0
+
+
+def test_p_miss_all_beacons_validation():
+    with pytest.raises(ValueError):
+        analysis.p_miss_all_beacons(1.5, 2)
+    with pytest.raises(ValueError):
+        analysis.p_miss_all_beacons(0.5, -1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.floats(min_value=0, max_value=1), st.integers(min_value=0, max_value=30))
+def test_property_p_miss_monotone_in_k(p, k):
+    assert analysis.p_miss_all_beacons(p, k + 1) <= analysis.p_miss_all_beacons(p, k) + 1e-12

@@ -1,0 +1,145 @@
+"""Baseline failure detectors: detection, load scaling, false positives."""
+
+import pytest
+
+from repro.detectors import (
+    AllPairsDetector,
+    CentralPollDetector,
+    DetectorHarness,
+    DetectorParams,
+    GossipDetector,
+    RingDetector,
+    analysis,
+)
+from repro.detectors.ring import UnidirectionalRingDetector
+from repro.net.loss import LinkQuality
+
+ALL = [RingDetector, UnidirectionalRingDetector, AllPairsDetector,
+       GossipDetector, CentralPollDetector]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_detects_a_crash(cls):
+    h = DetectorHarness(10, cls, DetectorParams(), seed=1)
+    h.start()
+    h.run(until=10)
+    ip = h.crash(3)
+    h.run(until=40)
+    dt = h.detection_time(ip)
+    assert dt is not None and dt < 15.0
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_no_false_positives_on_clean_network(cls):
+    h = DetectorHarness(10, cls, DetectorParams(), seed=2)
+    h.start()
+    h.run(until=60)
+    assert h.false_positives() == []
+
+
+def test_ring_load_linear_allpairs_quadratic():
+    """§4.2 / §5: the scalability contrast the paper draws against HACMP."""
+    def load(cls, n):
+        h = DetectorHarness(n, cls, DetectorParams(interval=1.0), seed=3)
+        h.start()
+        h.run(until=30)
+        return h.load_stats()["frames_per_sec"]
+
+    ring_small, ring_big = load(RingDetector, 10), load(RingDetector, 40)
+    ap_small, ap_big = load(AllPairsDetector, 10), load(AllPairsDetector, 40)
+    assert ring_big / ring_small == pytest.approx(4.0, rel=0.15)       # O(n)
+    assert ap_big / ap_small == pytest.approx(16.0, rel=0.15)          # O(n^2)
+
+
+def test_loads_match_analytic_formulas():
+    n, interval = 24, 1.0
+    cases = [
+        (RingDetector, analysis.ring_load(n, interval, bidirectional=True)),
+        (UnidirectionalRingDetector, analysis.ring_load(n, interval, bidirectional=False)),
+        (AllPairsDetector, analysis.allpairs_load(n, interval)),
+        (CentralPollDetector, analysis.central_poll_load(n, interval)),
+        (GossipDetector, analysis.gossip_load(n, interval)),
+    ]
+    for cls, predicted in cases:
+        h = DetectorHarness(n, cls, DetectorParams(interval=interval), seed=4)
+        h.start()
+        h.run(until=60)
+        measured = h.load_stats()["frames_per_sec"]
+        assert measured == pytest.approx(predicted, rel=0.15), cls.__name__
+
+
+def test_gossip_load_constant_per_member():
+    """Random pinging: per-member load independent of group size."""
+    def per_member(n):
+        h = DetectorHarness(n, GossipDetector, DetectorParams(), seed=5)
+        h.start()
+        h.run(until=30)
+        return h.load_stats()["frames_per_sec"] / n
+
+    assert per_member(40) == pytest.approx(per_member(10), rel=0.2)
+
+
+def test_one_strike_ring_false_positives_under_loss():
+    """§3: 'this scheme is overly sensitive to heartbeats lost due to
+    network congestion, due to its one strike and you're out behavior.'"""
+    def fps(threshold):
+        h = DetectorHarness(
+            15, UnidirectionalRingDetector,
+            DetectorParams(miss_threshold=threshold),
+            seed=6, quality=LinkQuality(loss_probability=0.05),
+        )
+        h.start()
+        h.run(until=120)
+        return len(h.false_positives())
+
+    assert fps(1) > 10 * max(1, fps(3))
+
+
+def test_gossip_indirect_probes_suppress_false_positives():
+    """[9]'s point: proxies distinguish a lossy path from a dead member."""
+    def fps(proxies):
+        h = DetectorHarness(
+            15, GossipDetector,
+            DetectorParams(proxies=proxies, timeout=0.5),
+            seed=7, quality=LinkQuality(loss_probability=0.10),
+        )
+        h.start()
+        h.run(until=200)
+        return len(h.false_positives())
+
+    assert fps(0) > fps(3)
+
+
+def test_detection_time_scales_with_threshold():
+    times = []
+    for k in (1, 3):
+        h = DetectorHarness(10, RingDetector, DetectorParams(miss_threshold=k), seed=8)
+        h.start()
+        h.run(until=10)
+        ip = h.crash(2)
+        h.run(until=60)
+        times.append(h.detection_time(ip))
+    assert times[1] > times[0]
+
+
+def test_central_poll_monitor_crash_blinds_detector():
+    """The single-point-of-failure property of centralized monitoring."""
+    h = DetectorHarness(8, CentralPollDetector, DetectorParams(), seed=9)
+    h.start()
+    h.run(until=10)
+    h.crash(h.monitor_index)  # kill the monitor itself
+    ip = h.crash(0)           # then a member
+    h.run(until=60)
+    assert h.detection_time(ip) is None  # nobody noticed
+
+
+def test_harness_requires_two_members():
+    with pytest.raises(ValueError):
+        DetectorHarness(1, RingDetector)
+
+
+def test_detection_time_none_for_alive():
+    h = DetectorHarness(5, RingDetector, seed=10)
+    h.start()
+    h.run(until=10)
+    assert h.detection_time(h.members[0].nic.ip) is None

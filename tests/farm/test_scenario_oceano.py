@@ -1,0 +1,129 @@
+"""Scenario runner and the Océano controller."""
+
+import pytest
+
+from repro.farm.builder import build_farm, build_testbed, FREE_POOL_VLAN
+from repro.farm.domain import DomainSpec, FarmSpec
+from repro.farm.oceano import OceanoController, SyntheticWorkload
+from repro.farm.scenario import Scenario
+from repro.node.faults import FaultPlan
+
+from tests.conftest import FAST
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def test_scenario_runs_and_collects():
+    farm = build_testbed(4, seed=1, params=HB)
+    plan = FaultPlan().crash_node(20.0, "node-01")
+    result = Scenario(farm, plan=plan, duration=50.0).run()
+    assert result.stable_time is not None
+    assert result.count("node_failed") == 1
+    assert result.counters["gs.2pc.commit"] > 0
+    assert 1 in result.segment_stats
+    assert result.segment_stats[1]["frames_sent"] > 0
+
+
+def test_scenario_ambient_load_applied():
+    farm = build_testbed(3, seed=2, params=HB)
+    result = Scenario(farm, duration=10.0, ambient_load={1: 500.0}).run()
+    assert farm.fabric.segments[1].ambient_load == 500.0
+
+
+def test_scenario_churn_produces_notifications():
+    farm = build_testbed(8, seed=3, params=HB)
+    sc = Scenario(farm, churn={"mtbf": 60.0, "mttr": 10.0, "start": 30.0}, duration=240.0)
+    result = sc.run()
+    assert sc.injector is not None and sc.injector.crashes > 0
+    assert result.count("node_failed") > 0
+    # recoveries observed too
+    assert result.count("node_recovered") > 0
+
+
+def test_workload_is_deterministic_and_nonnegative():
+    wl = SyntheticWorkload(["a", "b"], base=100, amplitude=150, period=60)
+    xs = [wl.load("a", t) for t in range(0, 200, 10)]
+    assert xs == [wl.load("a", t) for t in range(0, 200, 10)]
+    assert all(x >= 0 for x in xs)
+    # phase shift: domains differ
+    assert wl.load("a", 15) != wl.load("b", 15)
+
+
+def test_workload_spikes():
+    wl = SyntheticWorkload(["a"], base=10, amplitude=0, spikes={"a": (50, 20, 500)})
+    assert wl.load("a", 40) == 10
+    assert wl.load("a", 60) == 510
+    assert wl.load("a", 80) == 10
+
+
+def oceano_farm(seed):
+    spec = FarmSpec(
+        domains=[DomainSpec("acme", 2, 1), DomainSpec("globex", 2, 1)],
+        dispatchers=1, management_nodes=1, spare_nodes=2, switches=1,
+    )
+    farm = build_farm(spec, seed=seed, params=HB)
+    farm.start()
+    t = farm.run_until_stable(timeout=120)
+    assert t is not None
+    return farm
+
+
+def test_oceano_grows_domain_under_spike():
+    farm = oceano_farm(4)
+    t0 = farm.sim.now
+    wl = SyntheticWorkload(["acme", "globex"], base=60, amplitude=0,
+                           spikes={"acme": (t0 + 5, 500, 600)})
+    ctl = OceanoController(farm, wl, interval=5.0, high_water=50.0, low_water=10.0)
+    ctl.start()
+    farm.sim.run(until=t0 + 60)
+    grown = [m for m in ctl.moves if m.dst == "acme"]
+    assert len(grown) == 2  # both spares pulled in
+    assert farm.spare_nodes == []
+    # moves completed cleanly at GSC
+    assert farm.bus.count("move_completed") >= 2
+    assert farm.bus.count("adapter_failed") == 0
+
+
+def test_oceano_shrinks_when_load_drops():
+    farm = oceano_farm(5)
+    t0 = farm.sim.now
+    wl = SyntheticWorkload(["acme", "globex"], base=60, amplitude=0,
+                           spikes={"acme": (t0 + 5, 60, 600)})
+    ctl = OceanoController(farm, wl, interval=5.0, high_water=50.0, low_water=25.0,
+                           min_servers=2)
+    ctl.start()
+    farm.sim.run(until=t0 + 200)
+    assert any(m.dst == "acme" for m in ctl.moves)
+    assert any(m.src == "acme" and m.dst == "free-pool" for m in ctl.moves)
+    # the shrunk node is back in the pool on the free-pool vlan
+    assert farm.spare_nodes
+    node = farm.hosts[farm.spare_nodes[0]]
+    assert node.adapters[1].port.vlan == FREE_POOL_VLAN
+
+
+def test_oceano_respects_min_servers():
+    farm = oceano_farm(6)
+    t0 = farm.sim.now
+    wl = SyntheticWorkload(["acme", "globex"], base=0, amplitude=0)
+    ctl = OceanoController(farm, wl, interval=5.0, min_servers=3)
+    ctl.start()
+    farm.sim.run(until=t0 + 60)
+    # nothing was ever transplanted, so nothing can shrink below base size
+    assert ctl.moves == []
+
+
+def test_oceano_waits_for_stability():
+    """The controller must not reshape the farm before discovery settles."""
+    spec = FarmSpec(domains=[DomainSpec("acme", 2, 1)], dispatchers=1,
+                    management_nodes=1, spare_nodes=1)
+    farm = build_farm(spec, seed=7, params=HB)
+    wl = SyntheticWorkload(["acme"], base=1000, amplitude=0)
+    ctl = OceanoController(farm, wl, interval=1.0, high_water=10.0)
+    farm.start()
+    ctl.start()
+    farm.sim.run(until=2.0)  # discovery still in progress
+    assert ctl.moves == []
+    farm.run_until_stable(timeout=120)
+    farm.sim.run(until=farm.sim.now + 20)
+    assert ctl.moves  # acted once stable

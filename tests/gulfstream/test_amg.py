@@ -1,0 +1,139 @@
+"""AMG views: leadership rule, rank order, ring geometry (property-based)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gulfstream.amg import AMGView, choose_leader, rank_members
+from repro.gulfstream.messages import MemberInfo
+from repro.net.addressing import IPAddress
+
+
+def mi(ip, eligible=False, node="n", idx=0):
+    return MemberInfo(ip=IPAddress(ip), node=node, adapter_index=idx, admin_eligible=eligible)
+
+
+# unique IPs drawn as integers
+ips = st.lists(
+    st.integers(min_value=1, max_value=0xFFFFFFF0), min_size=1, max_size=30, unique=True
+)
+
+
+def test_choose_leader_highest_ip():
+    members = [mi("10.0.0.1"), mi("10.0.0.9"), mi("10.0.0.5")]
+    assert choose_leader(members).ip == IPAddress("10.0.0.9")
+
+
+def test_choose_leader_eligibility_trumps_ip():
+    """§2.2: only flagged nodes may lead the administrative AMG."""
+    members = [mi("10.0.0.9"), mi("10.0.0.1", eligible=True)]
+    assert choose_leader(members).ip == IPAddress("10.0.0.1")
+
+
+def test_choose_leader_among_eligible_highest_ip():
+    members = [mi("10.0.0.2", eligible=True), mi("10.0.0.1", eligible=True), mi("10.0.0.9")]
+    assert choose_leader(members).ip == IPAddress("10.0.0.2")
+
+
+def test_choose_leader_empty_raises():
+    with pytest.raises(ValueError):
+        choose_leader([])
+
+
+def test_rank_order_leader_first_then_descending():
+    view = AMGView.build([mi("10.0.0.1"), mi("10.0.0.3"), mi("10.0.0.2")], epoch=1)
+    assert [str(m.ip) for m in view.members] == ["10.0.0.3", "10.0.0.2", "10.0.0.1"]
+    assert view.leader_ip == IPAddress("10.0.0.3")
+    assert view.successor.ip == IPAddress("10.0.0.2")
+
+
+def test_group_key_minted_from_founder():
+    view = AMGView.build([mi("10.0.0.5")], epoch=3)
+    assert view.group_key == "10.0.0.5@3"
+
+
+def test_group_key_preserved_when_given():
+    view = AMGView.build([mi("10.0.0.5")], epoch=7, group_key="10.0.0.9@1")
+    assert view.group_key == "10.0.0.9@1"
+
+
+def test_rank_and_contains():
+    view = AMGView.build([mi("10.0.0.1"), mi("10.0.0.2")], epoch=1)
+    assert view.rank(IPAddress("10.0.0.2")) == 0
+    assert view.rank(IPAddress("10.0.0.1")) == 1
+    assert view.contains(IPAddress("10.0.0.1"))
+    assert not view.contains(IPAddress("10.0.0.3"))
+    with pytest.raises(KeyError):
+        view.rank(IPAddress("10.0.0.3"))
+
+
+def test_singleton_has_no_neighbors_or_successor():
+    view = AMGView.build([mi("10.0.0.1")], epoch=1)
+    assert view.neighbors(IPAddress("10.0.0.1")) == (None, None)
+    assert view.successor is None
+
+
+def test_pair_neighbors_coincide():
+    view = AMGView.build([mi("10.0.0.1"), mi("10.0.0.2")], epoch=1)
+    left, right = view.neighbors(IPAddress("10.0.0.1"))
+    assert left == right == IPAddress("10.0.0.2")
+
+
+def test_without_removes():
+    view = AMGView.build([mi("10.0.0.1"), mi("10.0.0.2"), mi("10.0.0.3")], epoch=1)
+    rest = view.without([IPAddress("10.0.0.3")])
+    assert [str(m.ip) for m in rest] == ["10.0.0.2", "10.0.0.1"]
+
+
+def test_empty_view_rejected():
+    with pytest.raises(ValueError):
+        AMGView.build([], epoch=1)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ips)
+def test_property_ring_is_a_single_cycle(values):
+    """Following 'right' pointers visits every member exactly once."""
+    view = AMGView.build([mi(v) for v in values], epoch=1)
+    start = view.leader_ip
+    seen = []
+    cur = start
+    for _ in range(len(values)):
+        seen.append(cur)
+        cur = view.neighbors(cur)[1]
+        if cur is None:  # singleton
+            break
+    if len(values) > 1:
+        assert cur == start
+        assert len(set(seen)) == len(values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ips)
+def test_property_neighbors_are_mutual(values):
+    """X's right neighbour has X as its left neighbour."""
+    view = AMGView.build([mi(v) for v in values], epoch=1)
+    for m in view.members:
+        left, right = view.neighbors(m.ip)
+        if right is not None:
+            assert view.neighbors(right)[0] == m.ip
+        if left is not None:
+            assert view.neighbors(left)[1] == m.ip
+
+
+@settings(max_examples=80, deadline=None)
+@given(ips)
+def test_property_rank_order_deterministic_and_total(values):
+    members = [mi(v) for v in values]
+    a = rank_members(members)
+    b = rank_members(reversed(members))
+    assert a == b
+    assert [int(m.ip) for m in a] == sorted((int(m.ip) for m in a), reverse=True)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ips, st.data())
+def test_property_leader_is_choose_leader(values, data):
+    members = [mi(v) for v in values]
+    view = AMGView.build(members, epoch=1)
+    assert view.leader == choose_leader(members)

@@ -1,0 +1,175 @@
+"""GulfStream Central: reports, stability, failover, verification, roles."""
+
+import pytest
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.gulfstream.messages import MemberInfo, MembershipReport
+from repro.net.addressing import IPAddress
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def test_gsc_is_admin_amg_leader():
+    farm = make_flat_farm(4, seed=1, params=HB, eligible=(0, 1))
+    run_stable(farm)
+    gsc_host = farm.gsc_host()
+    admin_proto = farm.daemons[gsc_host.name].admin_protocol
+    assert admin_proto.state is AdapterState.LEADER
+
+
+def test_gsc_knows_every_adapter_and_group():
+    farm = make_flat_farm(6, seed=2, params=HB)
+    run_stable(farm)
+    gsc = farm.gsc()
+    assert len(gsc.adapters) == 12
+    assert len(gsc.groups) == 2
+    groups = gsc.discovered_groups()
+    assert sorted(len(g) for g in groups) == [6, 6]
+
+
+def test_steady_state_sends_no_reports():
+    """'In the steady state, no network resources are used for group
+    membership information' (§2.2)."""
+    farm = make_flat_farm(5, seed=3, params=HB)
+    run_stable(farm)
+    gsc = farm.gsc()
+    before = gsc.reports_received
+    farm.sim.run(until=farm.sim.now + 60)
+    assert gsc.reports_received == before
+
+
+def test_deltas_not_full_membership_after_stability():
+    farm = make_flat_farm(6, seed=4, params=HB)
+    run_stable(farm)
+    t0 = farm.sim.now
+    trace = farm.sim.trace
+    farm.hosts["node-2"].crash()
+    farm.sim.run(until=t0 + 20)
+    kinds = [
+        r.data["kind"] for r in trace.select("gs.report.sent") if r.time > t0
+    ]
+    assert kinds and all(k == "delta" for k in kinds)
+
+
+def test_gsc_failover_elects_new_instance_and_resyncs():
+    """'Its failure results in a new leader election among the
+    administrative adapters ... a new instance of GulfStream Central.'"""
+    farm = make_flat_farm(6, seed=5, params=HB, eligible=(0, 1, 2))
+    run_stable(farm)
+    old = farm.gsc_host()
+    t0 = farm.sim.now
+    old.crash()
+    farm.sim.run(until=t0 + 40)
+    new = farm.gsc_host()
+    assert new is not None and new.name != old.name
+    gsc = farm.gsc()
+    # resynced: knows every live adapter, marked the dead node down
+    assert gsc.node_status(old.name) is False
+    live = [h for h in farm.hosts.values() if not h.crashed]
+    for h in live:
+        assert gsc.node_status(h.name) is True
+    assert farm.bus.count("gsc_activated") >= 2
+
+
+def test_gsc_without_eligibility_still_reports():
+    """With no eligible node, the highest-IP admin adapter still hosts GSC
+    (reporting role) but has no authorized console (§2.2)."""
+    farm = make_flat_farm(4, seed=6, params=HB, eligible=())
+    run_stable(farm)
+    gsc = farm.gsc()
+    assert gsc is not None
+    assert not gsc.console.authorized
+    with pytest.raises(RuntimeError):
+        farm.reconfig()
+
+
+def test_inactive_central_ignores_reports():
+    farm = make_flat_farm(3, seed=7, params=HB)
+    run_stable(farm)
+    gsc = farm.gsc()
+    gsc.deactivate()
+    n = gsc.reports_received
+    gsc.handle_report(
+        MembershipReport(
+            leader=IPAddress("10.0.0.1"), group_key="x@1", epoch=1, kind="full"
+        )
+    )
+    assert gsc.reports_received == n
+
+
+def test_verify_topology_clean_farm_no_issues():
+    farm = make_flat_farm(5, seed=8, params=HB)
+    run_stable(farm)
+    assert farm.gsc().verify_topology() == []
+
+
+def test_verify_topology_detects_missing_adapter():
+    farm = make_flat_farm(4, seed=9, params=HB)
+    # sabotage one adapter before discovery begins
+    victim = farm.hosts["node-2"].adapters[1]
+    victim.fail()
+    run_stable(farm)
+    issues = farm.gsc().verify_topology()
+    kinds = {(i.kind, str(i.ip)) for i in issues}
+    assert ("missing", str(victim.ip)) in kinds
+
+
+def test_verify_topology_detects_unknown_adapter():
+    farm = make_flat_farm(4, seed=10, params=HB)
+    run_stable(farm)
+    # remove a row from the DB: that adapter becomes 'unknown'
+    rogue = farm.hosts["node-1"].adapters[1]
+    farm.configdb.remove(rogue.ip)
+    issues = farm.gsc().verify_topology()
+    assert any(i.kind == "unknown" and i.ip == rogue.ip for i in issues)
+    assert farm.bus.count("inconsistency") == len(issues)
+
+
+def test_verify_topology_disables_conflicting_adapter():
+    """'Inconsistencies can be flagged and the affected adapters disabled,
+    for security reasons' (§2.2)."""
+    from repro.net.nic import NicState
+
+    farm = make_flat_farm(4, seed=11, params=HB)
+    run_stable(farm)
+    rogue = farm.hosts["node-1"].adapters[1]
+    farm.configdb.remove(rogue.ip)
+    farm.gsc().verify_topology(disable_conflicts=True)
+    assert rogue.state is NicState.DISABLED
+
+
+def test_verify_without_db_raises():
+    farm = make_flat_farm(3, seed=12, params=HB)
+    # strip the database
+    for d in farm.daemons.values():
+        d.configdb = None
+    farm.start = lambda: None  # already started by fixture helper
+    run_stable(farm)
+    gsc = farm.gsc()
+    gsc.configdb = None
+    with pytest.raises(RuntimeError):
+        gsc.verify_topology()
+
+
+def test_snmp_wiring_fallback():
+    """Without a config DB, correlation wiring comes from the SNMP walk —
+    the paper's future-work path."""
+    from repro.farm.builder import FarmBuilder
+    from repro.node.osmodel import OSParams
+
+    b = FarmBuilder(seed=13, params=HB, os_params=OSParams.fast(), with_configdb=False)
+    for i in range(4):
+        b.add_node(f"node-{i}", [1, 2], admin_eligible=(i == 0))
+    farm = b.finish()
+    farm.start()
+    run_stable(farm)
+    gsc = farm.gsc()
+    assert gsc.configdb is None
+    assert len(gsc.correlation.adapter_switch) == 8  # learned via SNMP walk
+    t0 = farm.sim.now
+    farm.hosts["node-3"].crash()
+    farm.sim.run(until=t0 + 20)
+    assert gsc.node_status("node-3") is False

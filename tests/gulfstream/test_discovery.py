@@ -1,0 +1,149 @@
+"""Topology discovery (§2.1): formation, deferral, joins, merges, T_beacon=0.
+
+These are integration tests over the real stack (fabric + daemons) with the
+ideal/fast OS model so timing assertions stay tight.
+"""
+
+import pytest
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.net.addressing import IPAddress
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+
+def states_on_vlan(farm, vlan):
+    out = {}
+    for name, daemon in farm.daemons.items():
+        for proto in daemon.protocols.values():
+            if proto.nic.port is not None and proto.nic.port.vlan == vlan:
+                out[str(proto.ip)] = proto
+    return out
+
+
+def test_one_amg_per_vlan():
+    farm = make_flat_farm(5, seed=1)
+    run_stable(farm)
+    for vlan in (1, 2):
+        protos = states_on_vlan(farm, vlan)
+        views = {str(p.view) for p in protos.values()}
+        assert len(views) == 1, f"vlan {vlan} split: {views}"
+        leaders = [p for p in protos.values() if p.state is AdapterState.LEADER]
+        assert len(leaders) == 1
+
+
+def test_leader_is_highest_ip_on_plain_vlan():
+    farm = make_flat_farm(5, seed=2)
+    run_stable(farm)
+    protos = states_on_vlan(farm, 2)  # non-admin vlan: nobody eligible
+    leader = next(p for p in protos.values() if p.state is AdapterState.LEADER)
+    assert int(leader.ip) == max(int(p.ip) for p in protos.values())
+
+
+def test_admin_leader_is_eligible_node():
+    """Eligibility trumps IP on the administrative VLAN (§2.2)."""
+    farm = make_flat_farm(5, seed=3, eligible=(0,))  # node-0 has the LOWEST ip
+    run_stable(farm)
+    protos = states_on_vlan(farm, 1)
+    leader = next(p for p in protos.values() if p.state is AdapterState.LEADER)
+    assert leader.host.name == "node-0"
+    assert farm.gsc_host().name == "node-0"
+
+
+def test_all_views_carry_full_membership_and_rank():
+    farm = make_flat_farm(6, seed=4)
+    run_stable(farm)
+    protos = states_on_vlan(farm, 2)
+    for p in protos.values():
+        assert p.view.size == 6
+        # rank order is common knowledge: identical tuples everywhere
+    ranks = {tuple(str(m.ip) for m in p.view.members) for p in protos.values()}
+    assert len(ranks) == 1
+
+
+def test_singleton_when_alone():
+    """'If no BEACON messages were received ... it forms its own (singleton)
+    AMG and declares itself the leader.'"""
+    farm = make_flat_farm(1, seed=5)
+    run_stable(farm)
+    for proto in farm.daemons["node-0"].protocols.values():
+        assert proto.state is AdapterState.LEADER
+        assert proto.view.size == 1
+
+
+def test_late_node_joins_existing_group():
+    farm = make_flat_farm(4, seed=6)
+    run_stable(farm)
+    # add a new node after stability
+    from repro.gulfstream.daemon import GulfStreamDaemon
+    from repro.node.host import Host
+    from repro.node.osmodel import OSParams
+
+    sim = farm.sim
+    late = Host(sim, "late", os_params=OSParams.fast())
+    late.add_adapter(IPAddress("10.0.9.9"), farm.fabric, "switch-0", 1)
+    late.add_adapter(IPAddress("10.1.9.9"), farm.fabric, "switch-0", 2)
+    d = GulfStreamDaemon(late, farm.fabric, farm.params, bus=farm.bus)
+    d.start()
+    sim.run(until=sim.now + 20)
+    for proto in d.protocols.values():
+        assert proto.view is not None and proto.view.size == 5
+    # GSC learned about both new adapters
+    gsc = farm.gsc()
+    assert gsc.adapter_status(IPAddress("10.0.9.9")) is True
+    assert gsc.adapter_status(IPAddress("10.1.9.9")) is True
+
+
+def test_zero_beacon_duration_converges_by_merging():
+    """T_beacon = 0: every adapter forms a singleton immediately, then the
+    groups merge into one — costlier but correct (§2.1). The ideal OS model
+    removes the start-up stagger that would otherwise act as an implicit
+    beacon window."""
+    from repro.node.osmodel import OSParams
+
+    params = FAST.derive(beacon_duration=0.0)
+    farm = make_flat_farm(4, seed=7, params=params, os_params=OSParams.ideal())
+    farm.sim.run(until=40)
+    protos = states_on_vlan(farm, 2)
+    sizes = {p.view.size for p in protos.values() if p.view}
+    assert sizes == {4}
+    # merging really happened (more than one commit on the vlan)
+    merges = farm.sim.trace.count("gs.merge.absorb")
+    assert merges >= 1
+
+
+def test_zero_beacon_costs_more_commits_than_beaconing():
+    """The paper's cost argument for a non-zero beacon phase."""
+    from repro.node.osmodel import OSParams
+
+    def commits(params, seed):
+        farm = make_flat_farm(5, seed=seed, params=params, os_params=OSParams.ideal())
+        farm.sim.run(until=40)
+        return farm.sim.trace.count("gs.2pc.commit")
+
+    with_beacon = commits(FAST, 8)
+    without = commits(FAST.derive(beacon_duration=0.0), 8)
+    assert without > with_beacon
+
+
+def test_discovery_deterministic_given_seed():
+    def fingerprint(seed):
+        farm = make_flat_farm(5, seed=seed)
+        t = run_stable(farm)
+        return (t, sorted(str(p.view) for p in states_on_vlan(farm, 2).values()))
+
+    assert fingerprint(11) == fingerprint(11)
+    assert fingerprint(11) != fingerprint(12)
+
+
+def test_post_formation_only_leader_beacons():
+    farm = make_flat_farm(4, seed=9)
+    run_stable(farm)
+    sim = farm.sim
+    start = sim.trace.count("net.send")
+    protos = states_on_vlan(farm, 2)
+    members = [p for p in protos.values() if p.state is AdapterState.MEMBER]
+    # members' beacon timers are gone
+    assert all(p._beacon_timer is None for p in members)
+    leaders = [p for p in protos.values() if p.state is AdapterState.LEADER]
+    assert all(p._beacon_timer is not None and p._beacon_timer.active for p in leaders)

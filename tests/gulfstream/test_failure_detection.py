@@ -1,0 +1,219 @@
+"""Failure detection (§3): crashes, failure modes, verification, takeover."""
+
+import pytest
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.net.addressing import IPAddress
+from repro.net.loss import LinkQuality
+from repro.net.nic import NicState
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+# tighter heartbeating for detection tests
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
+                 suspect_retry_interval=0.5, takeover_stagger=0.5)
+
+
+def vlan_protos(farm, vlan):
+    return {
+        str(p.ip): p
+        for d in farm.daemons.values()
+        for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == vlan
+    }
+
+
+def leader_of(farm, vlan):
+    return next(
+        p for p in vlan_protos(farm, vlan).values() if p.state is AdapterState.LEADER
+    )
+
+
+def test_crashed_member_removed_and_reported():
+    farm = make_flat_farm(5, seed=1, params=HB)
+    run_stable(farm)
+    victim = farm.hosts["node-2"]
+    t0 = farm.sim.now
+    victim.crash()
+    farm.sim.run(until=t0 + 20)
+    # removed from both vlans' views
+    for vlan in (1, 2):
+        protos = vlan_protos(farm, vlan)
+        for p in protos.values():
+            if p.host.name != "node-2":
+                assert p.view.size == 4
+                assert not any(m.node == "node-2" for m in p.view.members)
+    # GSC published both adapter failures and the node inference
+    assert farm.bus.count("adapter_failed") == 2
+    assert farm.bus.count("node_failed") == 1
+    assert farm.gsc().node_status("node-2") is False
+
+
+def test_detection_latency_reasonable():
+    farm = make_flat_farm(5, seed=2, params=HB)
+    run_stable(farm)
+    t0 = farm.sim.now
+    farm.hosts["node-1"].crash()
+    farm.sim.run(until=t0 + 30)
+    fails = [n for n in farm.bus.history if n.kind == "adapter_failed"]
+    assert fails
+    latency = min(n.time for n in fails) - t0
+    # k misses (2 * 0.5s) + probe verification + recommit + report
+    assert latency < 10.0
+
+
+def test_full_fail_single_adapter_does_not_kill_node_status():
+    farm = make_flat_farm(5, seed=3, params=HB)
+    run_stable(farm)
+    ip = next(ip for ip, p in vlan_protos(farm, 2).items() if p.host.name == "node-1")
+    t0 = farm.sim.now
+    farm.fabric.nics[IPAddress(ip)].fail(NicState.FAIL_FULL)
+    farm.sim.run(until=t0 + 20)
+    gsc = farm.gsc()
+    assert gsc.adapter_status(IPAddress(ip)) is False
+    assert gsc.node_status("node-1") is True  # admin adapter still up
+    assert farm.bus.count("node_failed") == 0
+
+
+def test_recv_fail_self_reports_not_blames_neighbors():
+    """§3: an adapter that stops receiving fails its loopback test and must
+    not cause false failure declarations of its (healthy) neighbours."""
+    farm = make_flat_farm(5, seed=4, params=HB)
+    run_stable(farm)
+    protos = vlan_protos(farm, 2)
+    victim = next(p for p in protos.values() if p.state is AdapterState.MEMBER)
+    t0 = farm.sim.now
+    victim.nic.fail(NicState.FAIL_RECV)
+    farm.sim.run(until=t0 + 20)
+    assert farm.sim.trace.count("gs.selffault") >= 1
+    # the sick adapter was removed...
+    leader = leader_of(farm, 2)
+    assert not leader.view.contains(victim.ip)
+    # ...and no healthy adapter was ever declared failed
+    failed = {n.subject for n in farm.bus.history if n.kind == "adapter_failed"}
+    assert failed <= {str(victim.ip)}
+
+
+def test_leader_death_successor_takes_over():
+    farm = make_flat_farm(5, seed=5, params=HB)
+    run_stable(farm)
+    old_leader = leader_of(farm, 2)
+    successor_ip = old_leader.view.successor.ip
+    old_key = old_leader.view.group_key
+    t0 = farm.sim.now
+    old_leader.nic.fail(NicState.FAIL_FULL)
+    farm.sim.run(until=t0 + 25)
+    new_leader = leader_of(farm, 2)
+    assert new_leader.ip == successor_ip
+    assert new_leader.view.size == 4
+    # group identity survives the takeover (GSC continuity)
+    assert new_leader.view.group_key == old_key
+    assert farm.gsc().adapter_status(old_leader.ip) is False
+
+
+def test_false_suspicion_is_ignored():
+    """Transient loss-induced suspicion must be cleared by leader probe."""
+    farm = make_flat_farm(5, seed=6, params=HB.derive(hb_miss_threshold=1, probe_retries=5),
+                          quality=LinkQuality(loss_probability=0.08))
+    run_stable(farm, timeout=120)
+    t0 = farm.sim.now
+    farm.sim.run(until=t0 + 60)
+    # with p=8% and one-strike suspicion there WILL be suspicions...
+    assert farm.sim.trace.count("gs.hb.suspect") > 0
+    # ...but probe verification kills them: nobody gets declared dead after
+    # the initial discovery settles (formation-time 2PC drops self-heal and
+    # are out of scope here)
+    post_stability_failures = [
+        n for n in farm.bus.history if n.kind == "adapter_failed" and n.time > t0
+    ]
+    assert post_stability_failures == []
+    assert farm.sim.trace.count_prefix("gs.suspect.false") > 0
+
+
+def test_repaired_adapter_rejoins_and_recovers():
+    farm = make_flat_farm(4, seed=7, params=HB)
+    run_stable(farm)
+    ip = next(ip for ip, p in vlan_protos(farm, 2).items() if p.host.name == "node-0")
+    nic = farm.fabric.nics[IPAddress(ip)]
+    t0 = farm.sim.now
+    nic.fail(NicState.FAIL_FULL)
+    farm.sim.run(until=t0 + 15)
+    assert farm.gsc().adapter_status(nic.ip) is False
+    nic.repair()
+    farm.sim.run(until=t0 + 60)
+    assert farm.gsc().adapter_status(nic.ip) is True
+    assert leader_of(farm, 2).view.contains(nic.ip)
+    assert farm.bus.count("adapter_recovered") >= 1
+
+
+def test_node_crash_and_restart_full_cycle():
+    farm = make_flat_farm(5, seed=8, params=HB)
+    run_stable(farm)
+    t0 = farm.sim.now
+    farm.hosts["node-1"].crash()
+    farm.sim.run(until=t0 + 20)
+    assert farm.gsc().node_status("node-1") is False
+    farm.hosts["node-1"].restart()
+    farm.sim.run(until=t0 + 70)
+    assert farm.gsc().node_status("node-1") is True
+    assert farm.bus.count("node_recovered") == 1
+    for vlan in (1, 2):
+        assert leader_of(farm, vlan).view.size == 5
+
+
+def test_switch_failure_inferred():
+    """§3 correlation: all adapters wired into one switch dead ⇒ switch dead."""
+    # put each node's adapters on its own switch so a switch failure maps
+    # to a known adapter set
+    from repro.farm.builder import FarmBuilder
+    from repro.node.osmodel import OSParams
+
+    b = FarmBuilder(seed=9, params=HB, os_params=OSParams.fast()).switches(1)
+    for i in range(4):
+        b.add_node(f"node-{i}", [1, 2], admin_eligible=(i == 0),
+                   )
+    farm = b.finish()
+    # rewire node-3's adapters onto a dedicated switch
+    for nic in farm.hosts["node-3"].adapters:
+        vlan = nic.port.vlan
+        farm.fabric.detach(nic)
+        farm.fabric.attach(nic, "edge-switch", vlan)
+    farm.configdb = None  # rebuild DB after rewiring
+    from repro.gulfstream.configdb import ConfigDatabase
+
+    db = ConfigDatabase.from_fabric(farm.fabric)
+    for d in farm.daemons.values():
+        d.configdb = db
+    farm.start()
+    run_stable(farm)
+    t0 = farm.sim.now
+    farm.fabric.switches["edge-switch"].fail()
+    farm.sim.run(until=t0 + 25)
+    assert farm.bus.count("switch_failed") == 1
+    assert farm.bus.last("switch_failed").subject == "edge-switch"
+    # node-3 is also inferred down (all its adapters are behind the switch)
+    assert farm.gsc().node_status("node-3") is False
+    farm.fabric.switches["edge-switch"].repair()
+    farm.sim.run(until=t0 + 80)
+    assert farm.bus.count("switch_recovered") == 1
+
+
+def test_multiple_simultaneous_failures_converge():
+    """The paper's footnote 1 failure case: multiple adapters failing at
+    once must still converge to a consistent smaller group."""
+    farm = make_flat_farm(7, seed=10, params=HB)
+    run_stable(farm)
+    t0 = farm.sim.now
+    farm.hosts["node-2"].crash()
+    farm.hosts["node-4"].crash()
+    farm.hosts["node-5"].crash()
+    farm.sim.run(until=t0 + 40)
+    for vlan in (1, 2):
+        protos = {
+            ip: p for ip, p in vlan_protos(farm, vlan).items()
+            if p.host.name not in ("node-2", "node-4", "node-5")
+        }
+        views = {str(p.view) for p in protos.values()}
+        assert len(views) == 1
+        assert next(iter(protos.values())).view.size == 4
+    assert farm.bus.count("node_failed") == 3

@@ -1,0 +1,151 @@
+"""The §4.2 multi-level reporting hierarchy (zone aggregators)."""
+
+import pytest
+
+from repro.farm import build_zoned_farm
+from repro.gulfstream import GSParams
+from repro.gulfstream.hierarchy import ZoneConfig
+from repro.net.addressing import IPAddress
+from repro.node.osmodel import OSParams
+
+PARAMS = GSParams(beacon_duration=1.5, beacon_interval=0.5, amg_stable_wait=1.5,
+                  gsc_stable_wait=3.0, hb_interval=0.5, probe_timeout=0.5,
+                  orphan_timeout=2.5, takeover_stagger=0.5)
+
+
+def zoned_farm(n_zones=3, nodes=4, seed=1, use_zones=True, flush=1.0,
+               vlans_per_zone=2):
+    farm = build_zoned_farm(n_zones, nodes, seed=seed, params=PARAMS,
+                            os_params=OSParams.fast(), use_zones=use_zones,
+                            flush_interval=flush, vlans_per_zone=vlans_per_zone)
+    farm.start()
+    t = farm.run_until_stable(timeout=120.0)
+    assert t is not None
+    return farm
+
+
+def aggregators(farm):
+    return [d.aggregator for d in farm.daemons.values() if d.aggregator is not None]
+
+
+def test_zone_config_routing():
+    cfg = ZoneConfig(
+        vlan_zone={20: "a", 21: "b"},
+        aggregator_ips={"a": IPAddress("10.0.0.1"), "b": IPAddress("10.0.0.2")},
+    )
+    assert cfg.aggregator_for_vlan(20) == IPAddress("10.0.0.1")
+    assert cfg.aggregator_for_vlan(99) is None
+    assert cfg.aggregator_for_vlan(None) is None
+    assert cfg.zone_of_ip(IPAddress("10.0.0.2")) == "b"
+    assert cfg.zone_of_ip(IPAddress("9.9.9.9")) is None
+
+
+def test_zoned_discovery_reaches_gsc():
+    farm = zoned_farm()
+    gsc = farm.gsc()
+    # 2 mgmt admin + (3 zones * 4 nodes * 3 adapters) = 38 adapters;
+    # 1 admin AMG + 3 zones * 2 vlans = 7 AMGs
+    assert len(gsc.adapters) == 38
+    assert len(gsc.groups) == 7
+    aggs = aggregators(farm)
+    assert len(aggs) == 3
+    # every zone AMG's initial report flowed through its aggregator
+    assert all(a.reports_in >= 1 and a.batches_out >= 1 for a in aggs)
+
+
+def test_zoned_failure_detection_equivalent_to_flat():
+    """The hierarchy changes transport, not semantics: GSC's conclusions
+    match the flat farm's."""
+    results = {}
+    for use_zones in (True, False):
+        farm = zoned_farm(seed=2, use_zones=use_zones)
+        t0 = farm.sim.now
+        farm.hosts["z1-n2"].crash()
+        farm.sim.run(until=t0 + 25)
+        gsc = farm.gsc()
+        results[use_zones] = (
+            gsc.node_status("z1-n2"),
+            farm.bus.count("adapter_failed"),
+            farm.bus.count("node_failed"),
+        )
+    assert results[True] == results[False] == (False, 3, 1)
+
+
+def test_batching_reduces_gsc_frames_on_burst():
+    """Simultaneous failures in one zone arrive at GSC as one batch frame
+    instead of one frame per report."""
+    def gsc_frames_for_burst(use_zones, seed):
+        farm = zoned_farm(n_zones=2, nodes=6, seed=seed, use_zones=use_zones,
+                          flush=2.0, vlans_per_zone=3)
+        gsc_daemon = next(d for d in farm.daemons.values() if d.is_gsc)
+        f0 = gsc_daemon.report_frames_in
+        t0 = farm.sim.now
+        farm.hosts["z0-n3"].crash()  # 3 zone AMGs each report a removal
+        farm.sim.run(until=t0 + 30)
+        gsc = farm.gsc()
+        assert gsc.node_status("z0-n3") is False
+        return gsc_daemon.report_frames_in - f0
+
+    zoned = gsc_frames_for_burst(True, seed=3)
+    flat = gsc_frames_for_burst(False, seed=3)
+    assert zoned < flat
+
+
+def test_aggregator_death_falls_back_to_direct_reports():
+    """A dead aggregator must not swallow failure reports: the
+    leader->aggregator hop is acked, and unacked reports are re-sent
+    directly to GSC after ~a flush window."""
+    farm = zoned_farm(seed=4)
+    agg_host = farm.hosts["z2-n0"]  # zone-2's aggregator node
+    t0 = farm.sim.now
+    agg_host.crash()
+    farm.sim.run(until=t0 + 30)
+    gsc = farm.gsc()
+    # full inference despite the aggregator dying: the admin-adapter
+    # removal arrived directly (admin vlan has no zone) and the zone
+    # removals arrived through the ack-timeout fallback
+    assert farm.sim.trace.count("gs.zone.fallback") >= 1
+    assert gsc.node_status("z2-n0") is False
+    # once the node restarts, its aggregator resumes and the zone resyncs
+    agg_host.restart()
+    farm.sim.run(until=t0 + 90)
+    assert gsc.node_status("z2-n0") is True
+    zone_adapters = [ip for ip, rec in gsc.adapters.items() if rec.node.startswith("z2")]
+    assert all(gsc.adapters[ip].up for ip in zone_adapters)
+
+
+def test_acked_hop_does_not_duplicate_reports():
+    """With a healthy aggregator every report is acked, so the fallback
+    path stays quiet and GSC sees each logical report exactly once."""
+    farm = zoned_farm(seed=7)
+    gsc = farm.gsc()
+    t0 = farm.sim.now
+    n0 = gsc.reports_received
+    farm.hosts["z0-n2"].crash()
+    farm.sim.run(until=t0 + 30)
+    assert farm.sim.trace.count("gs.zone.fallback") == 0
+    # 2 zone AMG removals + 1 admin AMG removal = 3 logical reports
+    assert gsc.reports_received - n0 == 3
+
+
+def test_aggregator_stops_with_daemon():
+    farm = zoned_farm(seed=5)
+    d = farm.daemons["z0-n0"]
+    assert d.aggregator is not None
+    d.stop()
+    assert d.aggregator is None
+
+
+def test_admin_vlan_reports_bypass_zones():
+    """The admin AMG has no zone, so its reports go straight to GSC."""
+    farm = zoned_farm(seed=6)
+    # crash a management node (admin adapter only)
+    t0 = farm.sim.now
+    farm.hosts["mgmt-0"].crash()
+    farm.sim.run(until=t0 + 25)
+    gsc = farm.gsc()
+    assert gsc.node_status("mgmt-0") is False
+    # no aggregator saw that report
+    assert all(
+        a.reports_in == pytest.approx(a.reports_in) for a in aggregators(farm)
+    )

@@ -1,0 +1,49 @@
+"""Notification bus pub/sub semantics."""
+
+from repro.gulfstream.notify import Notification, NotificationBus
+
+
+def test_publish_retains_history():
+    bus = NotificationBus()
+    bus.publish(1.0, "adapter_failed", "10.0.0.1", node="n1")
+    bus.publish(2.0, "node_failed", "n1")
+    assert len(bus) == 2
+    assert bus.history[0].detail == {"node": "n1"}
+
+
+def test_kind_subscription_filters():
+    bus = NotificationBus()
+    got = []
+    bus.subscribe(got.append, kind="node_failed")
+    bus.publish(1.0, "adapter_failed", "x")
+    bus.publish(2.0, "node_failed", "n1")
+    assert [n.kind for n in got] == ["node_failed"]
+
+
+def test_catch_all_subscription():
+    bus = NotificationBus()
+    got = []
+    bus.subscribe(got.append)
+    bus.publish(1.0, "a", "x")
+    bus.publish(2.0, "b", "y")
+    assert len(got) == 2
+
+
+def test_query_helpers():
+    bus = NotificationBus()
+    bus.publish(1.0, "k", "s1")
+    bus.publish(2.0, "k", "s2")
+    bus.publish(3.0, "other", "s1")
+    assert bus.count("k") == 2
+    assert len(bus.of_kind("k")) == 2
+    assert bus.first("k").subject == "s1"
+    assert bus.last("k").subject == "s2"
+    assert bus.first("k", subject="s2").time == 2.0
+    assert bus.first("missing") is None
+    assert bus.last("missing") is None
+
+
+def test_notification_str():
+    n = Notification(1.5, "node_failed", "n1", {"adapters": 3})
+    s = str(n)
+    assert "node_failed" in s and "adapters=3" in s

@@ -1,0 +1,148 @@
+"""Dynamic domain reconfiguration (§3.1): the full move cascade."""
+
+import pytest
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.gulfstream.reconfig import ReconfigurationManager
+from repro.net.addressing import IPAddress
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+# move cascade needs responsive heartbeating + orphan handling
+MV = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def build_two_domain_farm(seed):
+    """VLAN 1 admin, VLANs 2 and 3 two isolated 'domains'."""
+    from repro.farm.builder import FarmBuilder
+    from repro.node.osmodel import OSParams
+
+    b = FarmBuilder(seed=seed, params=MV, os_params=OSParams.fast())
+    for i in range(3):
+        b.add_node(f"a-{i}", [1, 2], admin_eligible=(i == 0))
+    for i in range(3):
+        b.add_node(f"b-{i}", [1, 3])
+    farm = b.finish()
+    farm.start()
+    run_stable(farm)
+    return farm
+
+
+def moved_proto(farm, ip):
+    for d in farm.daemons.values():
+        p = d.protocol_for(IPAddress(ip))
+        if p is not None:
+            return p
+    raise KeyError(ip)
+
+
+def test_expected_move_joins_new_amg_without_failure_notifications():
+    farm = build_two_domain_farm(1)
+    rm = farm.reconfig()
+    ip = farm.hosts["a-1"].adapters[1].ip
+    t0 = farm.sim.now
+    rm.move_adapter(ip, 3)
+    farm.sim.run(until=t0 + 40)
+    proto = moved_proto(farm, ip)
+    # the adapter ended up in the vlan-3 AMG with all of domain b
+    assert proto.view is not None and proto.view.size == 4
+    assert farm.bus.count("move_completed") == 1
+    assert farm.bus.count("adapter_failed") == 0  # suppressed (§3.1)
+    assert farm.bus.count("inconsistency") == 0
+    # old AMG recommitted without the mover
+    vlan2 = [
+        p for d in farm.daemons.values() for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == 2
+    ]
+    assert all(p.view.size == 2 for p in vlan2)
+
+
+def test_expected_move_updates_config_db():
+    farm = build_two_domain_farm(2)
+    rm = farm.reconfig()
+    ip = farm.hosts["a-2"].adapters[1].ip
+    rm.move_adapter(ip, 3)
+    assert farm.configdb.expected(ip).vlan == 3
+    farm.sim.run(until=farm.sim.now + 40)
+    # post-move verification is clean because the DB was updated in step
+    assert farm.gsc().verify_topology() == []
+
+
+def test_unexpected_move_flagged_as_inconsistency():
+    farm = build_two_domain_farm(3)
+    ip = farm.hosts["a-1"].adapters[1].ip
+    nic = farm.fabric.nics[ip]
+    t0 = farm.sim.now
+    # rogue operator moves the port behind GSC's back
+    farm.fabric.move_port_vlan(nic.port.switch.name, nic.port.index, 3)
+    farm.sim.run(until=t0 + 40)
+    moves = farm.bus.of_kind("move_detected")
+    assert moves and moves[0].detail["expected"] is False
+    assert farm.bus.count("inconsistency") >= 1
+
+
+def test_move_adapter_same_vlan_is_noop():
+    farm = build_two_domain_farm(4)
+    rm = farm.reconfig()
+    ip = farm.hosts["a-1"].adapters[1].ip
+    rm.move_adapter(ip, 2)
+    assert rm.moves_issued == []
+
+
+def test_move_unknown_adapter_raises():
+    farm = build_two_domain_farm(5)
+    rm = farm.reconfig()
+    with pytest.raises(KeyError):
+        rm.move_adapter(IPAddress("1.2.3.4"), 3)
+
+
+def test_move_node_moves_all_domain_adapters_not_admin():
+    farm = build_two_domain_farm(6)
+    rm = farm.reconfig()
+    host = farm.hosts["a-1"]
+    t0 = farm.sim.now
+    rm.move_node(host, {2: 3})
+    farm.sim.run(until=t0 + 40)
+    assert host.adapters[0].port.vlan == 1  # admin untouched
+    assert host.adapters[1].port.vlan == 3
+    assert farm.bus.count("move_completed") == 1
+    assert farm.gsc().node_status("a-1") is True
+
+
+def test_move_into_empty_vlan_completes_at_deadline():
+    """Moving to a VLAN with no other members: nobody to merge with, so the
+    move completes via the deadline path with the adapter up as a
+    singleton."""
+    farm = build_two_domain_farm(7)
+    params_deadline = MV.move_deadline
+    rm = farm.reconfig()
+    ip = farm.hosts["a-1"].adapters[1].ip
+    t0 = farm.sim.now
+    rm.move_adapter(ip, 42)  # fresh, empty vlan
+    farm.sim.run(until=t0 + params_deadline + 30)
+    proto = moved_proto(farm, ip)
+    assert proto.state is AdapterState.LEADER and proto.view.size == 1
+    assert farm.bus.count("move_completed") == 1
+    assert farm.bus.count("adapter_failed") == 0
+
+
+def test_move_of_crashed_adapter_releases_failure_at_deadline():
+    """If the 'moved' adapter actually died, the suppressed failure must be
+    released once the move deadline passes (§3.1 inversion guard)."""
+    farm = build_two_domain_farm(8)
+    rm = farm.reconfig()
+    nic = farm.hosts["a-1"].adapters[1]
+    t0 = farm.sim.now
+    rm.move_adapter(nic.ip, 3)
+    nic.fail()  # dies mid-move
+    farm.sim.run(until=t0 + MV.move_deadline + 30)
+    assert farm.bus.count("move_failed") == 1
+    assert farm.bus.count("adapter_failed") == 1
+
+
+def test_reconfig_requires_authorized_console():
+    farm = make_flat_farm(3, seed=9, params=MV, eligible=())
+    run_stable(farm)
+    with pytest.raises(RuntimeError):
+        ReconfigurationManager(farm.gsc())

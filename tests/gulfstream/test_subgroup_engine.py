@@ -1,0 +1,114 @@
+"""SubgroupHeartbeat engine unit tests (stub-driven)."""
+
+from typing import Any
+
+from repro.gulfstream.amg import AMGView
+from repro.gulfstream.messages import (
+    Heartbeat,
+    MemberInfo,
+    SubgroupPoll,
+    SubgroupPollAck,
+)
+from repro.gulfstream.params import GSParams
+from repro.gulfstream.subgroups import SubgroupHeartbeat
+from repro.net.addressing import IPAddress
+from repro.sim.engine import Simulator
+
+
+def mi(i):
+    return MemberInfo(ip=IPAddress(i), node="n", adapter_index=0)
+
+
+class StubProto:
+    def __init__(self, sim, ip, params):
+        self.sim = sim
+        self.ip = IPAddress(ip)
+        self.params = params
+        self.sent: list[tuple[IPAddress, Any]] = []
+
+        class _Nic:
+            name = f"stub/{ip}"
+
+        self.nic = _Nic()
+
+    def send(self, dst, payload, size=None):
+        self.sent.append((dst, payload))
+        return True
+
+    def trace(self, *a, **k):
+        pass
+
+
+def make(n=9, me=9, size=3, poll=3.0):
+    """View of IPs 1..n; 'me' is the highest (=leader) when me == n."""
+    sim = Simulator(seed=1)
+    params = GSParams(hb_interval=1.0, hb_miss_threshold=2, orphan_timeout=5.0,
+                      subgroup_size=size, subgroup_poll_interval=poll,
+                      probe_timeout=0.5)
+    proto = StubProto(sim, me, params)
+    view = AMGView.build([mi(i + 1) for i in range(n)], epoch=1)
+    suspects, silences, dead_groups = [], [], []
+    eng = SubgroupHeartbeat(
+        proto, view,
+        on_suspect=suspects.append,
+        on_total_silence=lambda: silences.append(sim.now),
+        on_subgroup_dead=dead_groups.append,
+    )
+    return sim, proto, view, eng, suspects, dead_groups
+
+
+def test_heartbeats_stay_within_subgroup():
+    sim, proto, view, eng, *_ = make(n=9, me=9, size=3)
+    # rank order is 9..1; leader 9's chunk is [9, 8, 7]
+    assert eng.my_subgroup == 0
+    assert all(int(ip) in (7, 8) for ip in eng.targets)
+    sim.run(until=4.0)
+    hb_targets = {int(dst) for dst, p in proto.sent if isinstance(p, Heartbeat)}
+    assert hb_targets <= {7, 8}
+
+
+def test_leader_polls_each_foreign_subgroup():
+    sim, proto, view, eng, *_ = make(n=9, me=9, size=3, poll=2.0)
+    sim.run(until=2.4)  # after the poll round, before its 0.5 s walk timeout
+    polls = [(int(dst), p) for dst, p in proto.sent if isinstance(p, SubgroupPoll)]
+    # foreign subgroups: [6,5,4] and [3,2,1]; first candidate of each polled
+    assert {d for d, _ in polls} == {6, 3}
+
+
+def test_poll_ack_stops_escalation():
+    # n=6, size=3: exactly one foreign subgroup [3, 2, 1]
+    sim, proto, view, eng, *_ = make(n=6, me=6, size=3, poll=2.0)
+    sim.run(until=2.1)
+    poll = next(p for _, p in proto.sent if isinstance(p, SubgroupPoll))
+    eng.on_poll_ack(SubgroupPollAck(sender=IPAddress(3), subgroup=poll.subgroup,
+                                    nonce=poll.nonce))
+    before = len([1 for _, p in proto.sent if isinstance(p, SubgroupPoll)])
+    sim.run(until=3.5)  # past the walk timeout, before the next round
+    after = len([1 for _, p in proto.sent if isinstance(p, SubgroupPoll)])
+    assert after == before  # no walk down the member list
+
+
+def test_silent_subgroup_walked_then_declared_dead():
+    sim, proto, view, eng, suspects, dead_groups = make(n=9, me=9, size=3, poll=2.0)
+    sim.run(until=8.0)  # polls at 2,4,6 + walks (0.5s timeout per member)
+    assert dead_groups, "catastrophic subgroup failure never declared"
+    dead = {int(ip) for ip in dead_groups[0]}
+    assert dead in ({6, 5, 4}, {3, 2, 1})
+    # the walk visited every member of the dead subgroup
+    polled = {int(dst) for dst, p in proto.sent if isinstance(p, SubgroupPoll)}
+    assert dead <= polled
+
+
+def test_member_answers_polls():
+    sim, proto, view, eng, *_ = make(n=9, me=5, size=3)  # rank 4: member
+    assert not eng._is_leader
+    eng.on_poll(SubgroupPoll(sender=IPAddress(9), subgroup=1, nonce=42))
+    acks = [p for _, p in proto.sent if isinstance(p, SubgroupPollAck)]
+    assert len(acks) == 1 and acks[0].nonce == 42
+
+
+def test_stop_cancels_polling():
+    sim, proto, view, eng, *_ = make(n=9, me=9, size=3, poll=2.0)
+    eng.stop()
+    sim.run(until=10.0)
+    assert not any(isinstance(p, SubgroupPoll) for _, p in proto.sent)

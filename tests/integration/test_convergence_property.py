@@ -1,0 +1,99 @@
+"""Property-based convergence: random fault schedules, one invariant.
+
+Whatever sequence of node crashes/restarts, adapter failures/repairs, and
+partitions/heals is thrown at a farm, once faults stop and enough time
+passes the system must converge to:
+
+* exactly one AMG per VLAN containing every live attached adapter;
+* exactly one leader per AMG;
+* a GulfStream Central whose adapter table and node inferences match the
+  ground truth.
+
+Hypothesis drives the schedules; the simulator's determinism makes every
+counterexample replayable from the printed seed data.
+"""
+
+from hypothesis import given, settings, HealthCheck
+from hypothesis import strategies as st
+
+from repro.gulfstream.adapter_proto import AdapterState
+
+from tests.conftest import FAST, make_flat_farm
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+N_NODES = 5
+
+# one fault action: (time offset 0-40s, kind, target node index)
+actions = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=40.0),
+        st.sampled_from(["crash", "restart", "fail_adapter", "repair_adapter",
+                         "partition", "heal"]),
+        st.integers(min_value=0, max_value=N_NODES - 1),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+def apply_action(farm, kind, idx):
+    host = farm.hosts[f"node-{idx}"]
+    if kind == "crash":
+        host.crash()
+    elif kind == "restart":
+        host.restart()
+    elif kind == "fail_adapter":
+        host.adapters[1].fail()
+    elif kind == "repair_adapter":
+        if not host.crashed:
+            host.adapters[1].repair()
+    elif kind == "partition":
+        ips = [farm.hosts[f"node-{i}"].adapters[1].ip for i in range(idx + 1)]
+        farm.fabric.segments[2].partition([ips])
+    elif kind == "heal":
+        farm.fabric.segments[2].heal()
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=actions, seed=st.integers(min_value=0, max_value=999))
+def test_always_converges_after_faults_stop(schedule, seed):
+    farm = make_flat_farm(N_NODES, seed=seed, params=HB)
+    stable = farm.run_until_stable(timeout=90.0)
+    assert stable is not None
+    t0 = farm.sim.now
+    for offset, kind, idx in schedule:
+        farm.sim.schedule_at(t0 + offset, apply_action, farm, kind, idx)
+    farm.sim.run(until=t0 + 45.0)
+    # quiesce: heal everything, restart everyone, repair every adapter
+    farm.fabric.segments[2].heal()
+    for host in farm.hosts.values():
+        if host.crashed:
+            host.restart()
+        else:
+            for nic in host.adapters:
+                if not nic.loopback_test():
+                    nic.repair()
+    farm.sim.run(until=farm.sim.now + 120.0)
+
+    # invariant 1: one consistent full-size view per vlan, one leader
+    for vlan in (1, 2):
+        protos = [
+            p for d in farm.daemons.values() for p in d.protocols.values()
+            if p.nic.port is not None and p.nic.port.vlan == vlan
+        ]
+        views = {str(p.view) for p in protos}
+        assert len(views) == 1, f"vlan {vlan} diverged: {views}"
+        assert protos[0].view.size == N_NODES
+        leaders = [p for p in protos if p.state is AdapterState.LEADER]
+        assert len(leaders) == 1
+
+    # invariant 2: GSC ground truth
+    gsc = farm.gsc()
+    assert gsc is not None
+    for host in farm.hosts.values():
+        assert gsc.node_status(host.name) is True, host.name
+    assert len(gsc.adapters) == 2 * N_NODES
+    assert all(rec.up for rec in gsc.adapters.values())

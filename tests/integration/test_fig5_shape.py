@@ -1,0 +1,87 @@
+"""Small-scale checks of the paper's quantitative claims (§4.1).
+
+The full-size reproductions live in ``benchmarks/``; here we assert the
+*shape* cheaply so regressions are caught by the test suite.
+"""
+
+import pytest
+
+from repro.analysis import eq1_prediction, measure_stability
+from repro.detectors.analysis import p_miss_all_beacons
+from repro.gulfstream.params import GSParams
+from repro.net.loss import LinkQuality
+from repro.node.osmodel import OSParams
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+SMALL = GSParams(beacon_duration=2.0, amg_stable_wait=1.5, gsc_stable_wait=3.0,
+                 beacon_interval=0.5)
+
+
+def test_stability_time_flat_in_node_count():
+    """Figure 5's headline: time-to-stable does not grow with group size."""
+    times = [
+        measure_stability(n, beacon_duration=2.0, seed=100 + n, params=SMALL).stable_time
+        for n in (2, 6, 12)
+    ]
+    spread = max(times) - min(times)
+    # flat to within the jitter of the OS-model draws
+    assert spread < 2.5, times
+
+
+def test_stability_time_tracks_beacon_duration():
+    """Doubling T_beacon shifts the curve by ~the added duration (Eq. 1)."""
+    a = measure_stability(5, beacon_duration=2.0, seed=7, params=SMALL)
+    b = measure_stability(5, beacon_duration=6.0, seed=7, params=SMALL)
+    assert b.stable_time - a.stable_time == pytest.approx(4.0, abs=2.0)
+
+
+def test_equation_1_decomposition_accounts_for_measurement():
+    r = measure_stability(6, beacon_duration=2.0, seed=9, params=SMALL)
+    assert r.stable_time == pytest.approx(
+        eq1_prediction(SMALL.derive(beacon_duration=2.0), r.delta), abs=1e-6
+    )
+    # both δ components are real, positive contributions with the full OS model
+    assert r.delta_formation > 0
+    assert r.delta_reporting > 0
+
+
+def test_delta_independent_of_ideal_os():
+    """With the OS model off, δ collapses to (almost) nothing — the paper's
+    attribution of δ to scheduling effects, inverted."""
+    r = measure_stability(5, beacon_duration=2.0, seed=11, params=SMALL,
+                          os_params=OSParams.ideal())
+    assert r.delta < 0.5
+
+
+def test_beacon_loss_leaves_nodes_out_of_initial_topology():
+    """§4.1: under heavy load some nodes miss all k beacons and are missing
+    from the initial topology (they join later via merge)."""
+    k = int(SMALL.beacon_duration / SMALL.beacon_interval)  # beacons per phase
+    p = 0.97  # very lossy: p^k is non-negligible
+    expected_miss = p_miss_all_beacons(p, k)
+    assert expected_miss > 0.8
+    farm = make_flat_farm(6, seed=13, params=SMALL, vlans=(1, 2),
+                          quality=LinkQuality(loss_probability=p))
+    farm.sim.run(until=SMALL.beacon_duration + 4.0)
+    # immediately after the phase the groups are fragmented...
+    views = {
+        str(pr.view)
+        for d in farm.daemons.values()
+        for pr in d.protocols.values()
+        if pr.nic.port.vlan == 2 and pr.view is not None
+    }
+    fragmented = len(views) > 1 or any(
+        pr.view is None
+        for d in farm.daemons.values()
+        for pr in d.protocols.values()
+        if pr.nic.port.vlan == 2
+    )
+    assert fragmented
+
+
+def test_perfect_network_zero_loss_discovers_everyone_at_once():
+    farm = make_flat_farm(6, seed=14, params=SMALL)
+    run_stable(farm)
+    gsc = farm.gsc()
+    assert len(gsc.adapters) == 12

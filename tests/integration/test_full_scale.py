@@ -1,0 +1,52 @@
+"""Full paper-scale integration: the 55-node testbed, end to end."""
+
+import pytest
+
+from repro.farm.builder import build_testbed
+from repro.gulfstream.params import GSParams
+
+
+@pytest.fixture(scope="module")
+def farm55():
+    """One shared 55-node discovery (module-scoped: it's the expensive bit)."""
+    farm = build_testbed(55, seed=2001, params=GSParams())
+    farm.start()
+    stable = farm.run_until_stable(timeout=120.0)
+    assert stable is not None
+    return farm, stable
+
+
+def test_paper_scale_stability_time(farm55):
+    farm, stable = farm55
+    # Figure 5 @ T_beacon=5: configured 25 s + delta in [4,7]
+    assert 29.0 < stable < 32.0
+
+
+def test_paper_scale_completeness(farm55):
+    farm, _ = farm55
+    gsc = farm.gsc()
+    assert len(gsc.adapters) == 165
+    assert len(gsc.groups) == 3
+    assert sorted(len(g.members) for g in gsc.groups.values()) == [55, 55, 55]
+
+
+def test_paper_scale_verification_clean(farm55):
+    farm, _ = farm55
+    assert farm.gsc().verify_topology() == []
+
+
+def test_paper_scale_failure_roundtrip(farm55):
+    farm, _ = farm55
+    gsc = farm.gsc()
+    t0 = farm.sim.now
+    victim = farm.hosts["node-23"]
+    victim.crash()
+    farm.sim.run(until=t0 + 30.0)
+    assert gsc.node_status("node-23") is False
+    note = farm.bus.last("node_failed", subject="node-23")
+    assert note is not None and note.time - t0 < 15.0
+    victim.restart()
+    farm.sim.run(until=t0 + 120.0)
+    assert gsc.node_status("node-23") is True
+    # every group back to full strength
+    assert sorted(len(g.members) for g in gsc.groups.values()) == [55, 55, 55]

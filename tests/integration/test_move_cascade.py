@@ -1,0 +1,109 @@
+"""The §3.1 moved-adapter cascade, observed step by step at protocol level."""
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.net.addressing import IPAddress
+
+from tests.conftest import FAST, run_stable
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def build(seed):
+    from repro.farm.builder import FarmBuilder
+    from repro.node.osmodel import OSParams
+
+    b = FarmBuilder(seed=seed, params=HB, os_params=OSParams.fast())
+    for i in range(3):
+        b.add_node(f"a-{i}", [1, 2], admin_eligible=(i == 0))
+    for i in range(3):
+        b.add_node(f"b-{i}", [1, 3])
+    farm = b.finish()
+    farm.start()
+    run_stable(farm)
+    return farm
+
+
+def test_cascade_traces_match_paper_story():
+    """Move a non-leader member and check the exact §3.1 sequence: the
+    moved adapter suspects its partners, can't reach its old leader,
+    self-promotes and beacons; the new segment's leader merges it; the old
+    group recommits without it; GSC sees a move, not failures."""
+    farm = build(1)
+    nic = farm.hosts["a-1"].adapters[1]
+    proto = farm.daemons["a-1"].protocol_for(nic.ip)
+    old_epoch = proto.epoch
+    t0 = farm.sim.now
+    trace = farm.sim.trace
+    rm = farm.reconfig()
+    rm.move_adapter(nic.ip, 3)
+    farm.sim.run(until=t0 + 60)
+
+    def times(cat, source=None):
+        return [r.time for r in trace.records
+                if r.category == cat and r.time > t0
+                and (source is None or r.source == source)]
+
+    # 1. the moved adapter suspected its (unreachable) old partners
+    assert times("gs.hb.suspect", source=nic.name)
+    # 2. ... found the old leader unreachable and promoted itself
+    promote = times("gs.self_promote", source=nic.name)
+    assert promote
+    # 3. the new segment's leader absorbed it by merge
+    absorb = [r for r in trace.records
+              if r.category == "gs.merge.absorb" and r.time > t0]
+    assert absorb
+    assert absorb[0].time > promote[0]
+    # 4. final state: member (or leader) of the vlan-3 group, all 4 present
+    assert proto.view.size == 4
+    # 5. the old group recommitted to just the remaining pair
+    old_partners = [farm.daemons[f"a-{i}"].protocol_for(farm.hosts[f"a-{i}"].adapters[1].ip)
+                    for i in (0, 2)]
+    for p in old_partners:
+        assert p.view.size == 2
+    # 6. GSC: exactly one expected move, zero failure notifications
+    assert farm.bus.count("move_completed") == 1
+    assert farm.bus.count("adapter_failed") == 0
+
+
+def test_cascade_when_moved_adapter_was_leader():
+    """If the mover led the old AMG, the old group additionally runs the
+    leader-death takeover, and the mover carries its leadership into the
+    merge."""
+    farm = build(2)
+    # vlan 2 leader is the highest-ip adapter: a-2's data adapter
+    leader_proto = next(
+        p for d in farm.daemons.values() for p in d.protocols.values()
+        if p.state is AdapterState.LEADER and p.nic.port.vlan == 2
+    )
+    t0 = farm.sim.now
+    rm = farm.reconfig()
+    rm.move_adapter(leader_proto.ip, 3)
+    farm.sim.run(until=t0 + 60)
+    # old group: takeover happened, survivors together under a new leader
+    survivors = [
+        p for d in farm.daemons.values() for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == 2
+    ]
+    assert {p.view.size for p in survivors} == {2}
+    assert sum(1 for p in survivors if p.state is AdapterState.LEADER) == 1
+    # moved one is in the vlan-3 group
+    assert leader_proto.view.size == 4
+    assert farm.bus.count("move_completed") == 1
+    assert farm.bus.count("adapter_failed") == 0
+
+
+def test_simultaneous_moves_of_two_adapters():
+    farm = build(3)
+    rm = farm.reconfig()
+    ips = [farm.hosts["a-1"].adapters[1].ip, farm.hosts["a-2"].adapters[1].ip]
+    t0 = farm.sim.now
+    rm.move_adapters(ips, 3)
+    farm.sim.run(until=t0 + 90)
+    for ip in ips:
+        proto = next(
+            d.protocol_for(ip) for d in farm.daemons.values() if d.protocol_for(ip)
+        )
+        assert proto.view.size == 5  # 3 b-nodes + 2 movers
+    assert farm.bus.count("move_completed") == 2
+    assert farm.bus.count("adapter_failed") == 0

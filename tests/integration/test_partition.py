@@ -1,0 +1,88 @@
+"""Network partitions: independent groups form, merge on heal (§2.1)."""
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.net.addressing import IPAddress
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def vlan_views(farm, vlan):
+    return {
+        str(p.ip): p
+        for d in farm.daemons.values()
+        for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == vlan
+    }
+
+
+def test_partition_forms_group_per_island():
+    farm = make_flat_farm(6, seed=1, params=HB)
+    run_stable(farm)
+    minority = [farm.hosts[f"node-{i}"].adapters[1].ip for i in range(3)]
+    t0 = farm.sim.now
+    farm.fabric.segments[2].partition([minority])
+    farm.sim.run(until=t0 + 50)
+    protos = vlan_views(farm, 2)
+    views = {str(p.view) for p in protos.values()}
+    assert len(views) == 2
+    sizes = sorted(p.view.size for p in protos.values())
+    assert sizes == [3, 3, 3, 3, 3, 3]
+    # each island has exactly one leader
+    leaders = [p for p in protos.values() if p.state is AdapterState.LEADER]
+    assert len(leaders) == 2
+
+
+def test_heal_merges_back_to_one_group():
+    farm = make_flat_farm(6, seed=2, params=HB)
+    run_stable(farm)
+    minority = [farm.hosts[f"node-{i}"].adapters[1].ip for i in range(3)]
+    t0 = farm.sim.now
+    farm.fabric.segments[2].partition([minority])
+    farm.sim.run(until=t0 + 50)
+    farm.fabric.segments[2].heal()
+    farm.sim.run(until=t0 + 110)
+    protos = vlan_views(farm, 2)
+    views = {str(p.view) for p in protos.values()}
+    assert len(views) == 1
+    assert next(iter(protos.values())).view.size == 6
+    leaders = [p for p in protos.values() if p.state is AdapterState.LEADER]
+    assert len(leaders) == 1
+
+
+def test_admin_partition_leaves_single_authorized_gsc():
+    """§2.2: 'network partitions will result in at most a single GulfStream
+    Central with access to the database and the switch console(s).'"""
+    farm = make_flat_farm(6, seed=3, params=HB, eligible=(0,))
+    run_stable(farm)
+    # partition the ADMIN vlan: eligible node-0 in the minority island
+    minority = [farm.hosts[f"node-{i}"].adapters[0].ip for i in range(2)]
+    t0 = farm.sim.now
+    farm.fabric.segments[1].partition([minority])
+    farm.sim.run(until=t0 + 60)
+    gscs = [d for d in farm.daemons.values() if d.is_gsc]
+    assert len(gscs) == 2  # one per partition — but...
+    authorized = [d for d in gscs if d.central.console.authorized]
+    assert len(authorized) == 1  # ...only one can reconfigure
+    assert authorized[0].host.name == "node-0"
+
+
+def test_partition_minority_without_leader_recovers():
+    """The island that lost its leader must elect a reachable survivor even
+    when the nominal successor is on the other side."""
+    farm = make_flat_farm(6, seed=4, params=HB)
+    run_stable(farm)
+    protos = vlan_views(farm, 2)
+    leader = next(p for p in protos.values() if p.state is AdapterState.LEADER)
+    # island WITHOUT the leader (and without the successor)
+    others = [p.ip for p in protos.values()
+              if p.ip not in (leader.ip, leader.view.successor.ip)][:3]
+    t0 = farm.sim.now
+    farm.fabric.segments[2].partition([list(others)])
+    farm.sim.run(until=t0 + 60)
+    island_protos = [p for p in vlan_views(farm, 2).values() if p.ip in others]
+    island_leaders = [p for p in island_protos if p.state is AdapterState.LEADER]
+    assert len(island_leaders) == 1
+    assert island_leaders[0].view.size == len(others)

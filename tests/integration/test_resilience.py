@@ -1,0 +1,105 @@
+"""Long-horizon resilience: churn, loss, GSC failover chains, restarts."""
+
+import pytest
+
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.net.loss import LinkQuality
+from repro.node.faults import FaultInjector
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+def assert_converged(farm, vlan, expected_nodes):
+    protos = [
+        p for d in farm.daemons.values() for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == vlan
+        and not p.host.crashed
+    ]
+    views = {str(p.view) for p in protos}
+    assert len(views) == 1, f"vlan {vlan} split: {views}"
+    assert protos[0].view.size == expected_nodes
+
+
+def test_churn_then_quiesce_converges():
+    """Random crash/restart churn for a while; after it stops, the farm
+    must converge back to complete, consistent groups."""
+    farm = make_flat_farm(8, seed=1, params=HB)
+    run_stable(farm)
+    inj = FaultInjector(farm.sim, farm.hosts, mtbf=40.0, mttr=8.0)
+    inj.start()
+    farm.sim.run(until=farm.sim.now + 120)
+    inj.stop()
+    # restart anyone still down, then let it settle
+    for h in farm.hosts.values():
+        if h.crashed:
+            h.restart()
+    farm.sim.run(until=farm.sim.now + 90)
+    for vlan in (1, 2):
+        assert_converged(farm, vlan, 8)
+    gsc = farm.gsc()
+    for h in farm.hosts.values():
+        assert gsc.node_status(h.name) is True
+
+
+def test_lossy_network_discovery_still_completes():
+    farm = make_flat_farm(6, seed=2, params=HB,
+                          quality=LinkQuality(loss_probability=0.05))
+    t = run_stable(farm, timeout=120)
+    farm.sim.run(until=farm.sim.now + 60)
+    gsc = farm.gsc()
+    # everyone eventually known and up
+    assert len(gsc.adapters) == 12
+    up = [ip for ip, r in gsc.adapters.items() if r.up]
+    assert len(up) == 12
+
+
+def test_gsc_failover_chain():
+    """Kill GSC hosts one after another; the role must keep moving and the
+    surviving instance must stay authoritative."""
+    farm = make_flat_farm(6, seed=3, params=HB, eligible=(0, 1, 2))
+    run_stable(farm)
+    killed = []
+    for _ in range(2):
+        gsc_host = farm.gsc_host()
+        killed.append(gsc_host.name)
+        gsc_host.crash()
+        farm.sim.run(until=farm.sim.now + 40)
+        new = farm.gsc_host()
+        assert new is not None and new.name not in killed
+    gsc = farm.gsc()
+    for name in killed:
+        assert gsc.node_status(name) is False
+    live = [h.name for h in farm.hosts.values() if not h.crashed]
+    for name in live:
+        assert gsc.node_status(name) is True
+
+
+def test_whole_farm_restart():
+    """Stop every daemon, restart all: a clean second discovery."""
+    farm = make_flat_farm(5, seed=4, params=HB)
+    run_stable(farm)
+    for d in farm.daemons.values():
+        d.stop()
+    farm.sim.run(until=farm.sim.now + 5)
+    for d in farm.daemons.values():
+        d.start()
+    farm.sim.run(until=farm.sim.now + 40)
+    for vlan in (1, 2):
+        assert_converged(farm, vlan, 5)
+
+
+def test_rapid_flapping_node_eventually_settles():
+    farm = make_flat_farm(5, seed=5, params=HB)
+    run_stable(farm)
+    flapper = farm.hosts["node-2"]
+    t0 = farm.sim.now
+    for i in range(4):
+        farm.sim.schedule_at(t0 + 5 + 10 * i, flapper.crash)
+        farm.sim.schedule_at(t0 + 10 + 10 * i, flapper.restart)
+    farm.sim.run(until=t0 + 120)
+    for vlan in (1, 2):
+        assert_converged(farm, vlan, 5)
+    assert farm.gsc().node_status("node-2") is True

@@ -1,0 +1,176 @@
+"""Trunk routers: hardware-caused partitions and §3 router correlation."""
+
+import pytest
+
+from repro.farm.builder import FarmBuilder
+from repro.gulfstream.adapter_proto import AdapterState
+from repro.gulfstream.configdb import ConfigDatabase
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NIC
+from repro.node.osmodel import OSParams
+from repro.sim.engine import Simulator
+
+from tests.conftest import FAST, run_stable
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=2.5,
+                 takeover_stagger=0.5, suspect_retry_interval=0.5)
+
+
+# ----------------------------------------------------------------------
+# fabric-level semantics
+# ----------------------------------------------------------------------
+def two_switch_fabric():
+    sim = Simulator()
+    fab = Fabric(sim)
+    router = fab.add_router("core", ["sw-a", "sw-b"])
+    a = NIC(IPAddress("10.0.0.1"), "na", 0)
+    b = NIC(IPAddress("10.0.0.2"), "nb", 0)
+    fab.attach(a, "sw-a", 1)
+    fab.attach(b, "sw-b", 1)
+    return sim, fab, router, a, b
+
+
+def test_healthy_router_trunks_vlan_across_switches():
+    sim, fab, router, a, b = two_switch_fabric()
+    inbox = []
+    b.handler = inbox.append
+    a.send(b.ip, "x")
+    a.multicast("y")
+    sim.run()
+    assert len(inbox) == 2
+
+
+def test_failed_router_partitions_by_switch():
+    sim, fab, router, a, b = two_switch_fabric()
+    inbox_a, inbox_b = [], []
+    a.handler = inbox_a.append
+    b.handler = inbox_b.append
+    router.fail()
+    a.send(b.ip, "x")
+    b.multicast("y")
+    sim.run()
+    assert inbox_a == [] and inbox_b == []
+    assert sim.trace.count("net.drop.router") == 2
+    # same-switch traffic unaffected
+    c = NIC(IPAddress("10.0.0.3"), "nc", 0)
+    fab.attach(c, "sw-a", 1)
+    got = []
+    c.handler = got.append
+    a.send(c.ip, "z")
+    sim.run()
+    assert len(got) == 1
+
+
+def test_router_repair_restores_trunk():
+    sim, fab, router, a, b = two_switch_fabric()
+    router.fail()
+    router.repair()
+    inbox = []
+    b.handler = inbox.append
+    a.send(b.ip, "x")
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_redundant_router_survives_single_failure():
+    sim = Simulator()
+    fab = Fabric(sim)
+    r1 = fab.add_router("core-1", ["sw-a", "sw-b"])
+    r2 = fab.add_router("core-2", ["sw-a", "sw-b"])
+    a = NIC(IPAddress("10.0.0.1"), "na", 0)
+    b = NIC(IPAddress("10.0.0.2"), "nb", 0)
+    fab.attach(a, "sw-a", 1)
+    fab.attach(b, "sw-b", 1)
+    r1.fail()
+    inbox = []
+    b.handler = inbox.append
+    a.send(b.ip, "x")
+    sim.run()
+    assert len(inbox) == 1  # r2 still trunks
+    r2.fail()
+    a.send(b.ip, "y")
+    sim.run()
+    assert len(inbox) == 1  # now partitioned
+
+
+def test_no_routers_means_fully_trunked():
+    sim = Simulator()
+    fab = Fabric(sim)
+    assert fab.switches_connected("x", "y")  # vacuously connected
+
+
+def test_router_validation():
+    sim = Simulator()
+    fab = Fabric(sim)
+    with pytest.raises(ValueError):
+        fab.add_router("bad", ["only-one"])
+    fab.add_router("core", ["a", "b"])
+    with pytest.raises(ValueError):
+        fab.add_router("core", ["a", "c"])
+
+
+# ----------------------------------------------------------------------
+# full-stack: partition cascade + GSC correlation
+# ----------------------------------------------------------------------
+def edge_farm(seed=1):
+    """Management side on sw-core; 3 edge nodes behind a trunk router on
+    sw-edge. The config DB records the edge adapters as behind 'uplink'."""
+    b = FarmBuilder(seed=seed, params=HB, os_params=OSParams.fast())
+    b.fabric.add_router("uplink", ["sw-core", "sw-edge"])
+    for i in range(3):
+        b.add_node(f"core-{i}", [1, 2], admin_eligible=(i == 0), switch="sw-core")
+    for i in range(3):
+        b.add_node(f"edge-{i}", [1, 2], switch="sw-edge")
+    farm = b.finish()
+    # rebuild the DB with router wiring
+    db = ConfigDatabase.from_fabric(b.fabric, router_map={"sw-edge": "uplink"})
+    farm.configdb = db
+    for d in farm.daemons.values():
+        d.configdb = db
+    farm.start()
+    run_stable(farm)
+    return farm
+
+
+def test_router_failure_detected_and_correlated():
+    farm = edge_farm(seed=2)
+    gsc = farm.gsc()
+    assert gsc.router_status("uplink") is True
+    t0 = farm.sim.now
+    farm.fabric.routers["uplink"].fail()
+    farm.sim.run(until=t0 + 30)
+    # GSC (core side) sees every edge adapter go dark and infers the router
+    assert farm.bus.count("router_failed") == 1
+    assert gsc.router_status("uplink") is False
+    # the nodes behind it are inferred down too
+    for i in range(3):
+        assert gsc.node_status(f"edge-{i}") is False
+    # meanwhile the edge side regrouped among itself (partition semantics)
+    edge_protos = [
+        p for name, d in farm.daemons.items() if name.startswith("edge")
+        for p in d.protocols.values() if p.nic.port.vlan == 2
+    ]
+    views = {str(p.view) for p in edge_protos}
+    assert len(views) == 1
+    assert edge_protos[0].view.size == 3
+
+
+def test_router_repair_heals_and_recovers():
+    farm = edge_farm(seed=3)
+    gsc = farm.gsc()
+    t0 = farm.sim.now
+    farm.fabric.routers["uplink"].fail()
+    farm.sim.run(until=t0 + 30)
+    farm.fabric.routers["uplink"].repair()
+    farm.sim.run(until=t0 + 120)
+    assert farm.bus.count("router_recovered") == 1
+    assert gsc.router_status("uplink") is True
+    for i in range(3):
+        assert gsc.node_status(f"edge-{i}") is True
+    # single AMG per vlan again
+    for vlan in (1, 2):
+        protos = [p for d in farm.daemons.values() for p in d.protocols.values()
+                  if p.nic.port.vlan == vlan]
+        assert len({str(p.view) for p in protos}) == 1
+        assert protos[0].view.size == 6

@@ -1,0 +1,76 @@
+"""IPAddress parsing, ordering, hashing; the MULTICAST sentinel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import MULTICAST, IPAddress, _Multicast
+
+
+def test_parse_dotted_quad():
+    ip = IPAddress("10.0.1.7")
+    assert str(ip) == "10.0.1.7"
+    assert int(ip) == (10 << 24) | (1 << 8) | 7
+
+
+def test_from_int_roundtrip():
+    ip = IPAddress(0x0A000107)
+    assert str(ip) == "10.0.1.7"
+
+
+def test_copy_constructor():
+    a = IPAddress("1.2.3.4")
+    b = IPAddress(a)
+    assert a == b and a is not b
+
+
+def test_ordering_is_numeric_not_lexicographic():
+    # lexicographically "10.0.0.9" > "10.0.0.10", numerically the reverse
+    assert IPAddress("10.0.0.9") < IPAddress("10.0.0.10")
+    assert IPAddress("9.0.0.0") < IPAddress("10.0.0.0")
+
+
+def test_hashable_as_dict_key():
+    d = {IPAddress("1.1.1.1"): "x"}
+    assert d[IPAddress("1.1.1.1")] == "x"
+
+
+def test_equality_against_other_types():
+    assert IPAddress("1.1.1.1") != "1.1.1.1"
+    assert (IPAddress("1.1.1.1") == 0x01010101) is False
+
+
+@pytest.mark.parametrize(
+    "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0", "a.b.c.d", ""]
+)
+def test_invalid_strings_rejected(bad):
+    with pytest.raises(ValueError):
+        IPAddress(bad)
+
+
+@pytest.mark.parametrize("bad", [-1, 2**32])
+def test_invalid_ints_rejected(bad):
+    with pytest.raises(ValueError):
+        IPAddress(bad)
+
+
+def test_multicast_is_singleton():
+    assert MULTICAST is _Multicast()
+    assert repr(MULTICAST) == "MULTICAST"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_property_int_str_roundtrip(value):
+    ip = IPAddress(value)
+    assert int(IPAddress(str(ip))) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+def test_property_order_matches_int_order(a, b):
+    assert (IPAddress(a) < IPAddress(b)) == (a < b)
+    assert (IPAddress(a) == IPAddress(b)) == (a == b)

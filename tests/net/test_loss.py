@@ -1,0 +1,91 @@
+"""Link-quality models: loss probabilities, latency bounds, congestion knee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.loss import LinkQuality, LoadDependentLoss, PerfectLink
+
+
+def test_perfect_link_never_drops():
+    q = PerfectLink(latency=0.001)
+    rng = np.random.default_rng(0)
+    for _ in range(100):
+        delivered, lat = q.sample(rng)
+        assert delivered and lat == 0.001
+
+
+def test_latency_within_jitter_bounds():
+    q = LinkQuality(latency=0.01, jitter=0.002)
+    rng = np.random.default_rng(1)
+    for _ in range(200):
+        delivered, lat = q.sample(rng)
+        assert delivered
+        assert 0.008 <= lat <= 0.012
+
+
+def test_loss_rate_close_to_configured():
+    q = LinkQuality(loss_probability=0.3, latency=0.001, jitter=0.0)
+    rng = np.random.default_rng(2)
+    losses = sum(1 for _ in range(5000) if not q.sample(rng)[0])
+    assert 0.25 < losses / 5000 < 0.35
+
+
+def test_latency_never_zero():
+    q = LinkQuality(latency=LinkQuality.MIN_LATENCY, jitter=LinkQuality.MIN_LATENCY)
+    rng = np.random.default_rng(3)
+    for _ in range(100):
+        _, lat = q.sample(rng)
+        assert lat >= LinkQuality.MIN_LATENCY
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"loss_probability": -0.1},
+        {"loss_probability": 1.1},
+        {"latency": 0.0},
+        {"latency": 0.001, "jitter": 0.002},
+        {"jitter": -0.1},
+    ],
+)
+def test_invalid_quality_params_rejected(kwargs):
+    with pytest.raises(ValueError):
+        LinkQuality(**kwargs)
+
+
+def test_load_dependent_flat_below_capacity():
+    q = LoadDependentLoss(base_loss=0.01, capacity=1000.0, overload_slope=0.5)
+    assert q.effective_loss(0.0) == 0.01
+    assert q.effective_loss(999.0) == 0.01
+
+
+def test_load_dependent_rises_above_capacity():
+    q = LoadDependentLoss(base_loss=0.0, capacity=1000.0, overload_slope=0.5)
+    assert q.effective_loss(2000.0) == pytest.approx(0.5)
+    assert q.effective_loss(1500.0) == pytest.approx(0.25)
+
+
+def test_load_dependent_caps_at_max_loss():
+    q = LoadDependentLoss(base_loss=0.0, capacity=100.0, overload_slope=1.0, max_loss=0.9)
+    assert q.effective_loss(1e9) == 0.9
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"capacity": 0.0}, {"overload_slope": -1.0}, {"max_loss": 1.5}],
+)
+def test_invalid_load_dependent_params(kwargs):
+    with pytest.raises(ValueError):
+        LoadDependentLoss(**kwargs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_property_effective_loss_in_unit_interval(p, load):
+    q = LoadDependentLoss(base_loss=p * 0.5, capacity=100.0, overload_slope=0.7)
+    assert 0.0 <= q.effective_loss(load) <= 1.0

@@ -1,0 +1,123 @@
+"""Adapter failure modes and the loopback self-test."""
+
+import pytest
+
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NIC, NicState
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    fab = Fabric(sim)
+    a = NIC(IPAddress("10.0.0.1"), "a", 0)
+    b = NIC(IPAddress("10.0.0.2"), "b", 0)
+    fab.attach(a, "sw", 1)
+    fab.attach(b, "sw", 1)
+    inbox = []
+    b.handler = inbox.append
+    return sim, a, b, inbox
+
+
+def test_ok_adapter_sends_and_receives(pair):
+    sim, a, b, inbox = pair
+    assert a.send(b.ip, "x")
+    sim.run()
+    assert len(inbox) == 1
+    assert a.sent == 1 and b.received == 1
+
+
+def test_fail_send_blocks_transmit_allows_receive(pair):
+    sim, a, b, inbox = pair
+    a.fail(NicState.FAIL_SEND)
+    assert not a.send(b.ip, "x")
+    sim.run()
+    assert inbox == []
+    # but a still receives
+    got = []
+    a.handler = got.append
+    b.send(a.ip, "y")
+    sim.run()
+    assert len(got) == 1
+
+
+def test_fail_recv_blocks_receive_allows_send(pair):
+    """The §3 case: the adapter 'ceases to receive messages from the
+    network' while still transmitting — the one that gets the left
+    neighbour falsely blamed."""
+    sim, a, b, inbox = pair
+    b.fail(NicState.FAIL_RECV)
+    a.send(b.ip, "x")
+    sim.run()
+    assert inbox == []
+    assert b.send(a.ip, "y")
+
+
+def test_fail_full_blocks_both(pair):
+    sim, a, b, inbox = pair
+    a.fail(NicState.FAIL_FULL)
+    assert not a.send(b.ip, "x")
+    got = []
+    a.handler = got.append
+    b.send(a.ip, "y")
+    sim.run()
+    assert got == []
+
+
+def test_disable_blocks_both(pair):
+    sim, a, b, inbox = pair
+    a.disable()
+    assert not a.can_send and not a.can_receive
+    assert a.state is NicState.DISABLED
+
+
+def test_repair_restores(pair):
+    sim, a, b, inbox = pair
+    a.fail(NicState.FAIL_FULL)
+    a.repair()
+    assert a.send(b.ip, "x")
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_loopback_test_semantics(pair):
+    sim, a, b, _ = pair
+    assert a.loopback_test()
+    a.fail(NicState.FAIL_RECV)
+    assert not a.loopback_test()
+    a.repair()
+    a.fail(NicState.FAIL_SEND)
+    assert not a.loopback_test()
+    a.repair()
+    assert a.loopback_test()
+
+
+def test_fail_requires_failure_mode(pair):
+    _, a, _, _ = pair
+    with pytest.raises(ValueError):
+        a.fail(NicState.OK)
+    with pytest.raises(ValueError):
+        a.fail(NicState.DISABLED)
+
+
+def test_state_checked_at_delivery_time(pair):
+    """A frame in flight is dropped if the receiver fails before arrival."""
+    sim, a, b, inbox = pair
+    a.send(b.ip, "x")
+    b.fail(NicState.FAIL_FULL)  # after send, before delivery event
+    sim.run()
+    assert inbox == []
+
+
+def test_unattached_nic_cannot_send():
+    nic = NIC(IPAddress("10.0.0.1"), "solo", 0)
+    with pytest.raises(RuntimeError):
+        nic.send(IPAddress("10.0.0.2"), "x")
+
+
+def test_name_and_repr(pair):
+    _, a, _, _ = pair
+    assert a.name == "a/eth0"
+    assert "10.0.0.1" in repr(a)

@@ -1,0 +1,177 @@
+"""Segment delivery semantics: multicast fan-out, unicast, islands, load."""
+
+import pytest
+
+from repro.net.addressing import IPAddress, MULTICAST
+from repro.net.fabric import Fabric
+from repro.net.loss import LinkQuality
+from repro.net.nic import NIC, NicState
+from repro.sim.engine import Simulator
+
+
+def make_segment(n=4, quality=None, seed=0):
+    sim = Simulator(seed=seed)
+    fab = Fabric(sim, default_quality=quality)
+    nics = []
+    for i in range(n):
+        nic = NIC(IPAddress(f"10.0.0.{i + 1}"), f"n{i}", 0)
+        fab.attach(nic, "sw", 1)
+        nics.append(nic)
+    return sim, fab, nics
+
+
+def collect(nic):
+    inbox = []
+    nic.handler = inbox.append
+    return inbox
+
+
+def test_multicast_reaches_all_but_sender():
+    sim, fab, nics = make_segment(4)
+    boxes = [collect(n) for n in nics]
+    nics[0].multicast("hello")
+    sim.run()
+    assert [len(b) for b in boxes] == [0, 1, 1, 1]
+    assert boxes[1][0].payload == "hello"
+
+
+def test_unicast_reaches_only_target():
+    sim, fab, nics = make_segment(4)
+    boxes = [collect(n) for n in nics]
+    nics[0].send(nics[2].ip, "direct")
+    sim.run()
+    assert [len(b) for b in boxes] == [0, 0, 1, 0]
+
+
+def test_unicast_to_absent_ip_is_silent():
+    sim, fab, nics = make_segment(2)
+    boxes = [collect(n) for n in nics]
+    assert nics[0].send(IPAddress("10.9.9.9"), "void")
+    sim.run()
+    assert all(len(b) == 0 for b in boxes)
+    assert sim.trace.count("net.drop.noroute") == 1
+
+
+def test_delivery_has_positive_latency():
+    sim, fab, nics = make_segment(2)
+    box = collect(nics[1])
+    nics[0].send(nics[1].ip, "x")
+    assert box == []  # not synchronous
+    sim.run()
+    assert len(box) == 1
+    assert sim.now > 0
+
+
+def test_cross_vlan_isolation():
+    """Adapters on different VLANs cannot communicate at all (paper §2)."""
+    sim = Simulator()
+    fab = Fabric(sim)
+    a = NIC(IPAddress("10.0.0.1"), "a", 0)
+    b = NIC(IPAddress("10.0.0.2"), "b", 0)
+    fab.attach(a, "sw", 1)
+    fab.attach(b, "sw", 2)
+    box = collect(b)
+    a.send(b.ip, "x")
+    a.multicast("y")
+    sim.run()
+    assert box == []
+
+
+def test_partition_blocks_cross_island_delivery():
+    sim, fab, nics = make_segment(4)
+    seg = fab.segments[1]
+    seg.partition([[nics[0].ip, nics[1].ip]])
+    boxes = [collect(n) for n in nics]
+    nics[0].multicast("m")
+    nics[3].send(nics[0].ip, "u")
+    sim.run()
+    assert len(boxes[1]) == 1  # same island
+    assert len(boxes[2]) == 0 and len(boxes[3]) == 0
+    assert len(boxes[0]) == 0  # unicast from other island blocked
+    assert seg.partitioned
+
+
+def test_heal_restores_delivery():
+    sim, fab, nics = make_segment(3)
+    seg = fab.segments[1]
+    seg.partition([[nics[0].ip]])
+    seg.heal()
+    boxes = [collect(n) for n in nics]
+    nics[0].multicast("m")
+    sim.run()
+    assert len(boxes[1]) == 1 and len(boxes[2]) == 1
+    assert not seg.partitioned
+
+
+def test_unnamed_members_fall_into_last_island():
+    sim, fab, nics = make_segment(4)
+    seg = fab.segments[1]
+    seg.partition([[nics[0].ip]])  # others implicitly island 1
+    boxes = [collect(n) for n in nics]
+    nics[1].multicast("m")
+    sim.run()
+    assert len(boxes[2]) == 1 and len(boxes[3]) == 1 and len(boxes[0]) == 0
+
+
+def test_lossy_segment_drops_some_deliveries():
+    sim, fab, nics = make_segment(2, quality=LinkQuality(loss_probability=0.5), seed=3)
+    box = collect(nics[1])
+    for _ in range(200):
+        nics[0].send(nics[1].ip, "x")
+    sim.run()
+    assert 50 < len(box) < 150
+    seg = fab.segments[1]
+    assert seg.frames_lost + seg.frames_delivered == 200
+
+
+def test_loss_is_per_receiver_on_multicast():
+    sim, fab, nics = make_segment(5, quality=LinkQuality(loss_probability=0.4), seed=1)
+    boxes = [collect(n) for n in nics]
+    for _ in range(100):
+        nics[0].multicast("m")
+    sim.run()
+    counts = [len(b) for b in boxes[1:]]
+    assert all(30 < c < 90 for c in counts)
+    assert len(set(counts)) > 1  # independent draws
+
+
+def test_counters_and_bytes():
+    sim, fab, nics = make_segment(3)
+    nics[0].multicast("m", size=100)
+    nics[0].send(nics[1].ip, "u", size=50)
+    sim.run()
+    seg = fab.segments[1]
+    assert seg.frames_sent == 2
+    assert seg.bytes_sent == 150
+    assert seg.frames_delivered == 3  # 2 multicast receivers + 1 unicast
+
+
+def test_offered_load_tracks_rate():
+    sim, fab, nics = make_segment(2)
+    seg = fab.segments[1]
+
+    def burst():
+        for _ in range(50):
+            nics[0].send(nics[1].ip, "x")
+
+    for t in range(5):
+        sim.schedule_at(float(t), burst)
+    sim.run()
+    assert seg.offered_load > 10
+
+
+def test_ambient_load_adds_to_offered():
+    sim, fab, nics = make_segment(2)
+    seg = fab.segments[1]
+    seg.ambient_load = 123.0
+    assert seg.offered_load >= 123.0
+
+
+def test_duplicate_ip_on_segment_rejected():
+    sim = Simulator()
+    fab = Fabric(sim)
+    a = NIC(IPAddress("10.0.0.1"), "a", 0)
+    fab.attach(a, "sw", 1)
+    dup = NIC(IPAddress("10.0.0.1"), "b", 0)
+    with pytest.raises(ValueError):
+        fab.attach(dup, "sw", 1)

@@ -1,0 +1,76 @@
+"""The SNMP switch console: authorization, reads, VLAN writes, audit."""
+
+import pytest
+
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NIC, NicState
+from repro.net.snmp import SnmpError, SwitchConsole
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    fab = Fabric(sim)
+    for i in range(3):
+        fab.attach(NIC(IPAddress(f"10.0.0.{i + 1}"), f"n{i}", 0), "sw0", 1)
+    return sim, fab
+
+
+def test_walk_connections(setup):
+    sim, fab = setup
+    console = SwitchConsole(fab)
+    rows = console.walk_connections()
+    assert len(rows) == 3
+    assert all(r["vlan"] == 1 for r in rows)
+
+
+def test_get_and_set_port_vlan(setup):
+    sim, fab = setup
+    console = SwitchConsole(fab)
+    assert console.get_port_vlan("sw0", 0) == 1
+    console.set_port_vlan("sw0", 0, 7)
+    assert console.get_port_vlan("sw0", 0) == 7
+    assert len(console.audit) == 1
+
+
+def test_move_adapter_by_ip(setup):
+    sim, fab = setup
+    console = SwitchConsole(fab)
+    console.move_adapter(IPAddress("10.0.0.2"), 9)
+    assert fab.nics[IPAddress("10.0.0.2")].port.vlan == 9
+
+
+def test_disable_and_enable_adapter(setup):
+    sim, fab = setup
+    console = SwitchConsole(fab)
+    ip = IPAddress("10.0.0.3")
+    console.disable_adapter(ip)
+    assert fab.nics[ip].state is NicState.DISABLED
+    console.enable_adapter(ip)
+    assert fab.nics[ip].state is NicState.OK
+
+
+def test_unauthorized_console_rejects_everything(setup):
+    """A GSC in a partition without admin access can report failures but
+    cannot reconfigure the network (§2.2)."""
+    sim, fab = setup
+    console = SwitchConsole(fab, authorized=False)
+    with pytest.raises(SnmpError):
+        console.walk_connections()
+    with pytest.raises(SnmpError):
+        console.set_port_vlan("sw0", 0, 7)
+    with pytest.raises(SnmpError):
+        console.disable_adapter(IPAddress("10.0.0.1"))
+
+
+def test_unknown_targets_raise(setup):
+    sim, fab = setup
+    console = SwitchConsole(fab)
+    with pytest.raises(SnmpError):
+        console.get_port_vlan("sw0", 42)
+    with pytest.raises(SnmpError):
+        console.move_adapter(IPAddress("1.1.1.1"), 2)
+    with pytest.raises(SnmpError):
+        console.disable_adapter(IPAddress("1.1.1.1"))

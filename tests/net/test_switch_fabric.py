@@ -1,0 +1,119 @@
+"""Switches, ports, VLAN moves, switch failure, and the wiring table."""
+
+import pytest
+
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NIC
+from repro.sim.engine import Simulator
+
+
+def farm():
+    sim = Simulator()
+    fab = Fabric(sim)
+    nics = {}
+    for i, (sw, vlan) in enumerate([("sw0", 1), ("sw0", 1), ("sw1", 1), ("sw1", 2)]):
+        nic = NIC(IPAddress(f"10.0.0.{i + 1}"), f"n{i}", 0)
+        fab.attach(nic, sw, vlan)
+        nics[i] = nic
+    return sim, fab, nics
+
+
+def test_ports_allocated_sequentially():
+    sim, fab, nics = farm()
+    sw0 = fab.switches["sw0"]
+    assert nics[0].port.index == 0 and nics[1].port.index == 1
+    assert sw0.ports[0].nic is nics[0]
+
+
+def test_vlan_spans_switches():
+    """VLANs are trunked: same VLAN on different switches is one segment."""
+    sim, fab, nics = farm()
+    inbox = []
+    nics[2].handler = inbox.append  # on sw1, vlan 1
+    nics[0].multicast("x")          # on sw0, vlan 1
+    sim.run()
+    assert len(inbox) == 1
+
+
+def test_move_port_vlan_changes_broadcast_domain():
+    sim, fab, nics = farm()
+    inbox = []
+    nics[3].handler = inbox.append  # vlan 2
+    nics[0].multicast("before")
+    sim.run()
+    assert inbox == []
+    fab.move_port_vlan("sw0", 0, 2)  # move nic0 to vlan 2
+    nics[0].multicast("after")
+    sim.run()
+    assert len(inbox) == 1
+    # and it left vlan 1
+    assert nics[0].ip not in fab.segments[1].members
+    assert nics[0].ip in fab.segments[2].members
+
+
+def test_move_to_same_vlan_is_noop():
+    sim, fab, nics = farm()
+    fab.move_port_vlan("sw0", 0, 1)
+    assert sim.trace.count("net.vlan.move") == 0
+
+
+def test_move_unknown_port_raises():
+    sim, fab, nics = farm()
+    with pytest.raises(KeyError):
+        fab.move_port_vlan("sw0", 99, 2)
+    with pytest.raises(KeyError):
+        fab.move_port_vlan("nope", 0, 2)
+
+
+def test_switch_failure_silences_attached_adapters():
+    sim, fab, nics = farm()
+    inbox0, inbox2 = [], []
+    nics[0].handler = inbox0.append
+    nics[2].handler = inbox2.append
+    fab.switches["sw0"].fail()
+    # nic0 (on failed sw0) cannot send
+    assert not nics[0].send(nics[2].ip, "x")
+    # nic2 (on healthy sw1) sends, but delivery to nic0 is dropped
+    nics[2].multicast("y")
+    sim.run()
+    assert inbox0 == []
+    fab.switches["sw0"].repair()
+    nics[2].multicast("z")
+    sim.run()
+    assert len(inbox0) == 1
+
+
+def test_attached_nics_listing():
+    sim, fab, nics = farm()
+    assert set(fab.switches["sw0"].attached_nics()) == {nics[0], nics[1]}
+
+
+def test_connections_table():
+    sim, fab, nics = farm()
+    rows = fab.connections()
+    assert len(rows) == 4
+    assert rows[0]["ip"] == IPAddress("10.0.0.1")
+    row = next(r for r in rows if r["node"] == "n3")
+    assert row["switch"] == "sw1" and row["vlan"] == 2
+
+
+def test_detach_removes_everywhere():
+    sim, fab, nics = farm()
+    fab.detach(nics[0])
+    assert nics[0].ip not in fab.nics
+    assert nics[0].ip not in fab.segments[1].members
+    assert fab.switches["sw0"].ports[0].nic is None
+
+
+def test_port_occupied_rejected():
+    sim, fab, nics = farm()
+    extra = NIC(IPAddress("10.0.0.9"), "x", 0)
+    with pytest.raises(ValueError):
+        fab.attach(extra, "sw0", 1, port_index=0)
+
+
+def test_next_free_port_skips_occupied():
+    sim, fab, nics = farm()
+    sw0 = fab.switches["sw0"]
+    assert sw0.next_free_port().index == 2

@@ -1,0 +1,123 @@
+"""Fault injection: scripted plans and randomized churn."""
+
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NicState
+from repro.node.faults import FaultInjector, FaultPlan
+from repro.node.host import Host
+from repro.node.osmodel import OSParams
+from repro.sim.engine import Simulator
+
+
+def build(n=3):
+    sim = Simulator(seed=0)
+    fab = Fabric(sim)
+    hosts = {}
+    for i in range(n):
+        h = Host(sim, f"n{i}", os_params=OSParams.ideal())
+        h.add_adapter(IPAddress(f"10.0.0.{i + 1}"), fab, "sw", 1)
+        hosts[h.name] = h
+    return sim, fab, hosts
+
+
+def test_plan_crash_and_restart():
+    sim, fab, hosts = build()
+    plan = FaultPlan().crash_node(5.0, "n1").restart_node(10.0, "n1")
+    plan.arm(sim, fab, hosts)
+    sim.run(until=6.0)
+    assert hosts["n1"].crashed
+    sim.run(until=11.0)
+    assert not hosts["n1"].crashed
+
+
+def test_plan_adapter_fail_modes():
+    sim, fab, hosts = build()
+    plan = (
+        FaultPlan()
+        .fail_adapter(1.0, "10.0.0.1", NicState.FAIL_RECV)
+        .repair_adapter(2.0, "10.0.0.1")
+    )
+    plan.arm(sim, fab, hosts)
+    sim.run(until=1.5)
+    assert fab.nics[IPAddress("10.0.0.1")].state is NicState.FAIL_RECV
+    sim.run(until=2.5)
+    assert fab.nics[IPAddress("10.0.0.1")].state is NicState.OK
+
+
+def test_plan_switch_and_partition():
+    sim, fab, hosts = build()
+    plan = (
+        FaultPlan()
+        .fail_switch(1.0, "sw")
+        .repair_switch(2.0, "sw")
+        .partition(3.0, 1, [["10.0.0.1"]])
+        .heal(4.0, 1)
+    )
+    plan.arm(sim, fab, hosts)
+    sim.run(until=1.5)
+    assert fab.switches["sw"].failed
+    sim.run(until=2.5)
+    assert not fab.switches["sw"].failed
+    sim.run(until=3.5)
+    assert fab.segments[1].partitioned
+    sim.run(until=4.5)
+    assert not fab.segments[1].partitioned
+
+
+def test_plan_builder_chains():
+    plan = FaultPlan().crash_node(1, "a").restart_node(2, "a")
+    assert len(plan.actions) == 2
+
+
+def test_injector_crashes_and_repairs():
+    sim, fab, hosts = build(10)
+    inj = FaultInjector(sim, hosts, mtbf=20.0, mttr=5.0)
+    inj.start()
+    sim.run(until=200.0)
+    assert inj.crashes > 0
+    assert inj.repairs > 0
+    # repairs trail crashes by at most the currently-down population
+    assert inj.crashes - inj.repairs <= len(hosts)
+
+
+def test_injector_stop_halts_faults():
+    sim, fab, hosts = build(10)
+    inj = FaultInjector(sim, hosts, mtbf=10.0, mttr=2.0)
+    inj.start()
+    sim.run(until=50.0)
+    count = inj.crashes
+    inj.stop()
+    sim.run(until=500.0)
+    assert inj.crashes == count
+
+
+def test_injector_deterministic_per_seed():
+    def run():
+        sim, fab, hosts = build(8)
+        inj = FaultInjector(sim, hosts, mtbf=15.0, mttr=3.0)
+        inj.start()
+        sim.run(until=100.0)
+        return inj.crashes, inj.repairs
+
+    assert run() == run()
+
+
+def test_injector_validates_params():
+    sim, fab, hosts = build()
+    import pytest
+
+    with pytest.raises(ValueError):
+        FaultInjector(sim, hosts, mtbf=0)
+    with pytest.raises(ValueError):
+        FaultInjector(sim, hosts, mttr=-1)
+
+
+def test_plan_router_actions():
+    sim, fab, hosts = build()
+    fab.add_router("core", ["sw", "sw2"])
+    plan = FaultPlan().fail_router(1.0, "core").repair_router(2.0, "core")
+    plan.arm(sim, fab, hosts)
+    sim.run(until=1.5)
+    assert fab.routers["core"].failed
+    sim.run(until=2.5)
+    assert not fab.routers["core"].failed

@@ -1,0 +1,93 @@
+"""Hosts: adapter registration, admin adapter convention, crash/restart."""
+
+import pytest
+
+from repro.net.addressing import IPAddress
+from repro.net.fabric import Fabric
+from repro.net.nic import NicState
+from repro.node.host import Host
+from repro.node.osmodel import OSParams
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    fab = Fabric(sim)
+    host = Host(sim, "node-0", os_params=OSParams.ideal())
+    host.add_adapter(IPAddress("10.0.0.1"), fab, "sw", 1)
+    host.add_adapter(IPAddress("10.1.0.1"), fab, "sw", 2)
+    return sim, fab, host
+
+
+def test_adapters_indexed_in_order(setup):
+    _, _, host = setup
+    assert host.adapter(0).index == 0
+    assert host.adapter(1).index == 1
+    assert host.adapter(0).node_name == "node-0"
+
+
+def test_admin_adapter_is_index_zero(setup):
+    _, _, host = setup
+    assert host.admin_adapter is host.adapter(0)
+
+
+def test_admin_adapter_requires_adapters():
+    host = Host(Simulator(), "bare")
+    with pytest.raises(RuntimeError):
+        _ = host.admin_adapter
+
+
+def test_enumerate_returns_copy(setup):
+    _, _, host = setup
+    listed = host.enumerate_adapters()
+    listed.clear()
+    assert len(host.adapters) == 2
+
+
+def test_crash_fails_all_adapters(setup):
+    sim, _, host = setup
+    host.crash()
+    assert host.crashed
+    assert all(n.state is NicState.FAIL_FULL for n in host.adapters)
+    assert sim.trace.count("node.crash") == 1
+
+
+def test_crash_is_idempotent(setup):
+    sim, _, host = setup
+    host.crash()
+    host.crash()
+    assert sim.trace.count("node.crash") == 1
+
+
+def test_restart_repairs_adapters(setup):
+    sim, _, host = setup
+    host.crash()
+    host.restart()
+    assert not host.crashed
+    assert all(n.state is NicState.OK for n in host.adapters)
+
+
+def test_restart_without_crash_is_noop(setup):
+    sim, _, host = setup
+    host.restart()
+    assert sim.trace.count("node.restart") == 0
+
+
+def test_crash_stops_daemon(setup):
+    sim, fab, host = setup
+
+    class FakeDaemon:
+        stopped = started = 0
+
+        def stop(self):
+            self.stopped += 1
+
+        def start(self):
+            self.started += 1
+
+    host.daemon = FakeDaemon()
+    host.crash()
+    assert host.daemon.stopped == 1
+    host.restart()
+    assert host.daemon.started == 1

@@ -1,0 +1,207 @@
+"""Event-loop semantics: ordering, cancellation, stopping, safety rails."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, fired.append, "c")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    sim = Simulator()
+    fired = []
+    for tag in range(10):
+        sim.schedule(1.0, fired.append, tag)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "late", priority=1)
+    sim.schedule(1.0, fired.append, "early", priority=0)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0  # clock advances to the boundary
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert not ev.pending
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+    assert ev.cancelled and not ev.fired
+
+
+def test_event_pending_lifecycle():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    assert ev.pending
+    sim.run()
+    assert ev.fired and not ev.pending
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, fired.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_stop_halts_after_current_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append("a"), sim.stop()))
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_guard_trips():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.1, loop)
+
+    sim.schedule(0.1, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.schedule(1.0, reenter)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_pending_count_and_next_event_time():
+    sim = Simulator()
+    assert sim.pending_count() == 0
+    assert sim.next_event_time() is None
+    ev = sim.schedule(2.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.pending_count() == 2
+    assert sim.next_event_time() == 2.0
+    ev.cancel()
+    assert sim.pending_count() == 1
+    assert sim.next_event_time() == 5.0
+
+
+def test_run_until_with_empty_queue_advances_clock():
+    sim = Simulator()
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=50))
+def test_property_execution_order_is_sorted(delays):
+    """Whatever the scheduling order, execution times are non-decreasing."""
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_never_fire(items):
+    """Exactly the non-cancelled events fire, regardless of interleaving."""
+    sim = Simulator()
+    fired = []
+    events = []
+    for i, (delay, cancel) in enumerate(items):
+        events.append((sim.schedule(delay, fired.append, i), cancel))
+    for ev, cancel in events:
+        if cancel:
+            ev.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+    assert set(fired) == expected

@@ -1,0 +1,96 @@
+"""Timer behaviour: periodicity, jitter bounds, cancellation, max_fires."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.process import Timer, delayed
+
+
+def test_timer_fires_periodically():
+    sim = Simulator()
+    ticks = []
+    Timer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_timer_initial_delay():
+    sim = Simulator()
+    ticks = []
+    Timer(sim, 1.0, lambda: ticks.append(sim.now), initial_delay=0.25)
+    sim.run(until=2.5)
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_timer_zero_initial_delay_fires_immediately():
+    sim = Simulator()
+    ticks = []
+    Timer(sim, 1.0, lambda: ticks.append(sim.now), initial_delay=0.0)
+    sim.run(until=1.5)
+    assert ticks == [0.0, 1.0]
+
+
+def test_timer_cancel_stops_firing():
+    sim = Simulator()
+    ticks = []
+    t = Timer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=2.5)
+    t.cancel()
+    sim.run(until=10.0)
+    assert ticks == [1.0, 2.0]
+    assert not t.active
+
+
+def test_timer_cancel_from_own_callback():
+    sim = Simulator()
+    ticks = []
+    t = Timer(sim, 1.0, lambda: (ticks.append(sim.now), t.cancel()))
+    sim.run(until=10.0)
+    assert ticks == [1.0]
+
+
+def test_timer_max_fires():
+    sim = Simulator()
+    t = Timer(sim, 1.0, lambda: None, max_fires=3)
+    sim.run(until=10.0)
+    assert t.fires == 3
+    assert not t.active
+
+
+def test_timer_args_passed_through():
+    sim = Simulator()
+    seen = []
+    Timer(sim, 1.0, seen.append, "payload", max_fires=2)
+    sim.run()
+    assert seen == ["payload", "payload"]
+
+
+def test_timer_jitter_stays_within_bounds():
+    sim = Simulator(seed=7)
+    rng = np.random.default_rng(0)
+    ticks = []
+    Timer(sim, 1.0, lambda: ticks.append(sim.now), jitter=0.2, rng=rng, max_fires=50)
+    sim.run()
+    gaps = np.diff([0.0] + ticks)
+    assert all(0.6 <= g <= 1.4 for g in gaps[1:])  # interval ± jitter (+slack)
+    assert len(set(np.round(gaps, 6))) > 1  # actually jittered
+
+
+def test_timer_rejects_bad_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Timer(sim, 0.0, lambda: None)
+    with pytest.raises(ValueError):
+        Timer(sim, 1.0, lambda: None, jitter=1.5)
+    with pytest.raises(ValueError):
+        Timer(sim, 1.0, lambda: None, jitter=0.1)  # jitter without rng
+
+
+def test_delayed_one_shot():
+    sim = Simulator()
+    fired = []
+    delayed(sim, 2.0, fired.append, "x")
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 2.0

@@ -1,0 +1,86 @@
+"""Trace storage, counters, filtering, and subscriptions."""
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def test_emit_stores_and_counts():
+    tr = Trace()
+    tr.emit(1.0, "net.send", "a", vlan=2)
+    tr.emit(2.0, "net.send", "b")
+    tr.emit(3.0, "net.drop.loss", "b")
+    assert tr.count("net.send") == 2
+    assert tr.count("net.drop.loss") == 1
+    assert len(tr) == 3
+    assert tr.records[0].data == {"vlan": 2}
+
+
+def test_count_prefix_sums_subcategories():
+    tr = Trace()
+    tr.emit(1.0, "net.drop.loss", "a")
+    tr.emit(1.0, "net.drop.switch", "a")
+    tr.emit(1.0, "net.send", "a")
+    assert tr.count_prefix("net.drop") == 2
+    assert tr.count_prefix("net.") == 3
+
+
+def test_store_off_counts_but_does_not_store():
+    tr = Trace(store=False)
+    tr.emit(1.0, "x", "a")
+    assert tr.count("x") == 1
+    assert len(tr) == 0
+
+
+def test_category_filter_stores_selectively():
+    tr = Trace(categories={"keep"})
+    tr.emit(1.0, "keep", "a")
+    tr.emit(1.0, "drop", "a")
+    assert len(tr) == 1
+    assert tr.count("drop") == 1  # still counted
+
+
+def test_max_records_cap_sets_truncated():
+    tr = Trace(max_records=2)
+    for i in range(5):
+        tr.emit(float(i), "x", "a")
+    assert len(tr) == 2
+    assert tr.truncated
+    assert tr.count("x") == 5
+
+
+def test_select_by_category_and_source():
+    tr = Trace()
+    tr.emit(1.0, "a", "s1")
+    tr.emit(2.0, "a", "s2")
+    tr.emit(3.0, "b", "s1")
+    assert len(tr.select(category="a")) == 2
+    assert len(tr.select(source="s1")) == 2
+    assert len(tr.select(category="a", source="s1")) == 1
+
+
+def test_last_returns_most_recent():
+    tr = Trace()
+    tr.emit(1.0, "x", "a", n=1)
+    tr.emit(2.0, "x", "a", n=2)
+    rec = tr.last("x")
+    assert rec is not None and rec.data["n"] == 2
+    assert tr.last("missing") is None
+
+
+def test_subscribe_sees_all_records():
+    tr = Trace(store=False)
+    seen = []
+    tr.subscribe(seen.append)
+    tr.emit(1.0, "x", "a")
+    assert len(seen) == 1 and isinstance(seen[0], TraceRecord)
+
+
+def test_clear_resets_everything():
+    tr = Trace()
+    tr.emit(1.0, "x", "a")
+    tr.clear()
+    assert len(tr) == 0 and tr.count("x") == 0 and not tr.truncated
+
+
+def test_record_str_renders():
+    rec = TraceRecord(1.5, "cat", "src", {"k": "v"})
+    assert "cat" in str(rec) and "k=v" in str(rec)

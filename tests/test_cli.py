@@ -1,0 +1,80 @@
+"""The gulfstream-sim command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_discover(capsys):
+    code, out = run(capsys, "discover", "--nodes", "4", "--beacon", "1.5",
+                    "--seed", "1")
+    assert code == 0
+    assert "stable in" in out
+    assert "GulfStream Central" in out
+    assert "Adapter Membership Groups" in out
+
+
+def test_discover_adapters_flag(capsys):
+    code, out = run(capsys, "discover", "--nodes", "3", "--adapters", "2",
+                    "--beacon", "1.5")
+    assert code == 0
+    assert "adapters=6" in out
+
+
+def test_fig5(capsys):
+    code, out = run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2")
+    assert code == 0
+    assert "Figure 5" in out
+    assert out.count("2.00") >= 1  # the beacon column
+
+
+def test_storm(capsys):
+    code, out = run(capsys, "storm", "--nodes", "5", "--duration", "40",
+                    "--mtbf", "30", "--mttr", "5", "--seed", "2")
+    assert code == 0
+    assert "churn:" in out and "crashes" in out
+    assert "node_failed" in out
+
+
+def test_move(capsys):
+    code, out = run(capsys, "move", "--domain-size", "3", "--seed", "3")
+    assert code == 0
+    assert "moving" in out
+    assert "move_completed" in out
+    assert "failure notifications: 0" in out
+
+
+def test_detectors(capsys):
+    code, out = run(capsys, "detectors", "--members", "10")
+    assert code == 0
+    assert "ring (GulfStream)" in out
+    assert "all-pairs (HACMP)" in out
+
+
+def test_serve_crash(capsys):
+    code, out = run(capsys, "serve", "--rate", "40", "--event", "crash",
+                    "--seed", "4")
+    assert code == 0
+    assert "success rate=" in out
+
+
+def test_serve_none_event(capsys):
+    code, out = run(capsys, "serve", "--rate", "40", "--event", "none",
+                    "--seed", "5")
+    assert code == 0
+    assert "failed=0" in out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["not-a-command"])
+
+
+def test_parser_prog_name():
+    assert build_parser().prog == "gulfstream-sim"

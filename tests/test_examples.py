@@ -1,0 +1,57 @@
+"""Every example must keep running end-to-end (they are living docs)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "stable topology view after" in out
+    assert "node-07 up? False" in out
+    assert "node-07 up? True" in out
+    assert "reports to GSC in a quiet minute: 0" in out
+
+
+def test_oceano_farm(capsys):
+    out = run_example("oceano_farm", capsys)
+    assert "discovery stable" in out
+    assert "free-pool -> acme" in out
+    assert "failure notifications during all moves: 0" in out
+    assert "database still consistent: True" in out
+
+
+def test_domain_move(capsys):
+    out = run_example("domain_move", capsys)
+    assert "concludes it should lead" in out or "merge" in out
+    assert "failure notifications published: 0" in out
+
+
+def test_failure_storm(capsys):
+    out = run_example("failure_storm", capsys)
+    assert "switch_failed" in out
+    assert "after heal: 1 AMG of size 10" in out
+    assert "10/10 nodes up" in out
+
+
+def test_detector_faceoff(capsys):
+    out = run_example("detector_faceoff", capsys)
+    assert "ring (GulfStream" in out
+    assert "all-pairs" in out
+
+
+def test_zone_hierarchy(capsys):
+    out = run_example("zone_hierarchy", capsys)
+    assert "fewer report frames" in out
