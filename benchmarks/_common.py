@@ -6,13 +6,29 @@ to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference stable
 artifacts. The pytest-benchmark fixture wraps each full experiment once
 (``pedantic(rounds=1)``) — the interesting output is the table, the timing
 is just a bonus.
+
+Engineering benchmarks additionally persist *machine-readable* results via
+:func:`emit_bench_json`: ``BENCH_<name>.json`` at the repo root holds a
+``history`` list with one point per recorded run (events/sec, peak heap
+size, wall-clock, ...), so every future PR appends to a perf trajectory and
+regressions are diffable in review rather than anecdotal.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
+import subprocess
+from typing import Any, Dict
 
 RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: repo root — BENCH_*.json trajectory files are checked in alongside the code
+BENCH_ROOT = pathlib.Path(__file__).parent.parent
+
+#: schema version of the BENCH_*.json trajectory files
+BENCH_SCHEMA = 1
 
 
 def emit(name: str, text: str) -> None:
@@ -26,3 +42,41 @@ def once(benchmark, fn):
     """Run ``fn`` exactly once under the benchmark fixture and return its
     result (no warmup/calibration reruns of a multi-second experiment)."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def _git_rev() -> str:
+    """Short commit id for trajectory points; 'unknown' outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=BENCH_ROOT, capture_output=True, text=True, timeout=5,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def emit_bench_json(name: str, metrics: Dict[str, Any]) -> pathlib.Path:
+    """Append one point to the ``BENCH_<name>.json`` perf trajectory.
+
+    The file keeps every recorded run under ``history`` (newest last) plus a
+    ``latest`` convenience copy, so a reviewer can diff the head-of-trunk
+    numbers without parsing the whole list. Returns the file path.
+    """
+    path = BENCH_ROOT / f"BENCH_{name}.json"
+    if path.exists():
+        doc = json.loads(path.read_text())
+        if doc.get("schema") != BENCH_SCHEMA:
+            doc = {"schema": BENCH_SCHEMA, "bench": name, "history": []}
+    else:
+        doc = {"schema": BENCH_SCHEMA, "bench": name, "history": []}
+    point = {
+        "date": datetime.date.today().isoformat(),
+        "rev": _git_rev(),
+        **metrics,
+    }
+    doc["history"].append(point)
+    doc["latest"] = point
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] trajectory point appended to {path.name}")
+    return path

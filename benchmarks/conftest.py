@@ -1,0 +1,14 @@
+"""Benchmark-suite collection hooks.
+
+Every file in this directory reproduces a full experiment (seconds to
+minutes of wall-clock), so all of them carry the ``slow`` marker: the
+tier-1 run (``python -m pytest -x -q``) still executes everything, while
+``-m "not slow"`` gives the fast pre-commit loop documented in the README.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.slow)

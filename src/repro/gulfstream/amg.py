@@ -14,7 +14,8 @@ means every member can derive its neighbours locally from the commit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple
+from functools import cached_property
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.net.addressing import IPAddress
 from repro.gulfstream.messages import MemberInfo
@@ -89,21 +90,29 @@ class AMGView:
     def ips(self) -> Tuple[IPAddress, ...]:
         return tuple(m.ip for m in self.members)
 
+    @cached_property
+    def _rank_index(self) -> Dict[IPAddress, int]:
+        """ip -> rank, computed once per (immutable) view.
+
+        Membership and neighbour lookups sit on the heartbeat hot path —
+        every received heartbeat checks ``contains`` — so they must not
+        rescan the member tuple.
+        """
+        return {m.ip: i for i, m in enumerate(self.members)}
+
     def contains(self, ip: IPAddress) -> bool:
-        return any(m.ip == ip for m in self.members)
+        return ip in self._rank_index
 
     def member(self, ip: IPAddress) -> Optional[MemberInfo]:
-        for m in self.members:
-            if m.ip == ip:
-                return m
-        return None
+        i = self._rank_index.get(ip)
+        return self.members[i] if i is not None else None
 
     def rank(self, ip: IPAddress) -> int:
         """0 for the leader, 1 for the designated successor, ..."""
-        for i, m in enumerate(self.members):
-            if m.ip == ip:
-                return i
-        raise KeyError(f"{ip} not in view")
+        try:
+            return self._rank_index[ip]
+        except KeyError:
+            raise KeyError(f"{ip} not in view") from None
 
     @property
     def successor(self) -> Optional[MemberInfo]:

@@ -73,7 +73,11 @@ class RingHeartbeat:
         self._check_timer: Optional[Timer] = None
         if self.targets or self.monitored:
             rng = proto.sim.rng.stream(f"hb/{proto.nic.name}")
-            jitter = min(0.05 * p.hb_interval, 0.45 * p.hb_interval)
+            # the old `min(0.05 * interval, 0.45 * interval)` was a no-op min
+            # (always the 0.05 arm); the fraction is now an explicit,
+            # validated param — GSParams.validate() guarantees frac < 1, so
+            # the Timer's `jitter < interval` requirement always holds
+            jitter = p.hb_jitter_frac * p.hb_interval
             self._send_timer = Timer(
                 proto.sim, p.hb_interval, self._send,
                 initial_delay=float(rng.uniform(0, p.hb_interval)),
@@ -83,6 +87,10 @@ class RingHeartbeat:
                 proto.sim, p.hb_interval, self._check,
                 initial_delay=p.hb_interval * (p.hb_miss_threshold + 0.5),
             )
+        # the per-view neighbour sets never change while this engine lives
+        # (a membership change builds a new engine), so cache the send list
+        # in deterministic rank-independent order for the per-tick loop
+        self._send_targets = tuple(sorted(self.targets, key=int))
         # counters for load accounting
         self.sent = 0
         self.received = 0
@@ -90,8 +98,10 @@ class RingHeartbeat:
     # ------------------------------------------------------------------
     def _send(self) -> None:
         msg = Heartbeat(sender=self.proto.ip, epoch=self.view.epoch)
-        for ip in self.targets:
-            self.proto.send(ip, msg, size=self.proto.params.size_heartbeat)
+        send = self.proto.send
+        size = self.proto.params.size_heartbeat
+        for ip in self._send_targets:
+            send(ip, msg, size=size)
             self.sent += 1
 
     def on_heartbeat(self, src: IPAddress, epoch: int) -> None:

@@ -53,6 +53,11 @@ class GSParams:
     # -- heartbeating (§3) --------------------------------------------------
     #: heartbeat period t_hb
     hb_interval: float = 1.0
+    #: per-tick send jitter as a fraction of ``hb_interval`` (±), keeping
+    #: ring heartbeats from phase-locking across members; must stay in
+    #: ``[0, 1)`` so the derived jitter satisfies the Timer's
+    #: ``jitter < interval`` requirement
+    hb_jitter_frac: float = 0.05
     #: consecutive missed heartbeats before suspecting a neighbour (the
     #: paper's "one strike and you're out" is hb_miss_threshold=1)
     hb_miss_threshold: int = 2
@@ -124,6 +129,10 @@ class GSParams:
             raise ValueError("hb_interval must be > 0")
         if self.hb_miss_threshold < 1:
             raise ValueError("hb_miss_threshold must be >= 1")
+        if not 0.0 <= self.hb_jitter_frac < 1.0:
+            # the Timer rejects jitter >= interval; a fraction in [0, 1)
+            # guarantees hb_jitter_frac * hb_interval < hb_interval
+            raise ValueError("hb_jitter_frac must satisfy 0 <= frac < 1")
         if self.hb_mode not in ("unidirectional", "bidirectional"):
             raise ValueError(f"unknown hb_mode {self.hb_mode!r}")
         if self.subgroup_size is not None and self.subgroup_size < 2:

@@ -13,7 +13,7 @@ segment's RNG stream.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -54,7 +54,11 @@ class LinkQuality:
         self.jitter = jitter
 
     def sample(self, rng: np.random.Generator, load: float = 0.0) -> Tuple[bool, float]:
-        """One delivery decision: ``(delivered, latency_seconds)``."""
+        """One delivery decision: ``(delivered, latency_seconds)``.
+
+        Loss-free, jitter-free models (e.g. :class:`PerfectLink`) never
+        touch the RNG, so the functional-test fast path costs no draws.
+        """
         p = self.effective_loss(load)
         if p > 0.0 and rng.random() < p:
             return False, 0.0
@@ -63,6 +67,25 @@ class LinkQuality:
         else:
             lat = self.latency
         return True, max(self.MIN_LATENCY, lat)
+
+    def sample_batch(
+        self, rng: np.random.Generator, load: float, n: int
+    ) -> Tuple[Optional[np.ndarray], Any]:
+        """Vectorised :meth:`sample` for the ``n`` receivers of one frame.
+
+        Returns ``(delivered, latencies)`` where ``delivered`` is ``None``
+        when every receiver gets the frame (the loss-free fast path) or a
+        boolean array otherwise, and ``latencies`` is a scalar (jitter-free)
+        or a float array. One RNG call per frame replaces one Python-level
+        call per receiver — the multicast delivery hot path.
+        """
+        p = self.effective_loss(load)
+        delivered = rng.random(n) >= p if p > 0.0 else None
+        if self.jitter > 0.0:
+            lats = rng.uniform(self.latency - self.jitter, self.latency + self.jitter, n)
+            np.maximum(lats, self.MIN_LATENCY, out=lats)
+            return delivered, lats
+        return delivered, max(self.MIN_LATENCY, self.latency)
 
     def effective_loss(self, load: float) -> float:
         """Loss probability at the given offered load (msgs/sec). Constant here."""

@@ -55,6 +55,9 @@ class NIC:
         #: adapter index on its host; index 0 is the administrative adapter
         #: by the prototype's convention (paper §2.2)
         self.index = index
+        #: stable label, e.g. ``node-3/eth1`` — precomputed because it tags
+        #: every trace emission on the delivery hot path
+        self.name = f"{node_name}/eth{index}"
         self.state = NicState.OK
         self.port: Optional["Port"] = None
         self.fabric: Optional["Fabric"] = None
@@ -67,14 +70,6 @@ class NIC:
         # traffic counters (frames, not bytes)
         self.sent = 0
         self.received = 0
-
-    # ------------------------------------------------------------------
-    # identity
-    # ------------------------------------------------------------------
-    @property
-    def name(self) -> str:
-        """Stable label, e.g. ``node-3/eth1 (10.0.1.7)``."""
-        return f"{self.node_name}/eth{self.index}"
 
     # ------------------------------------------------------------------
     # state management

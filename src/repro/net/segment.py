@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.net.addressing import IPAddress
 from repro.net.loss import LinkQuality, PerfectLink
 from repro.net.packet import Frame
@@ -54,6 +56,9 @@ class Segment:
         self._bucket_start = 0.0
         self._bucket_count = 0
         self._last_rate = 0.0
+        # per-segment RNG stream, resolved once (stream lookup by name costs
+        # an f-string + dict probe per frame otherwise)
+        self._rng = None
         # counters
         self.frames_sent = 0
         self.frames_delivered = 0
@@ -141,30 +146,33 @@ class Segment:
         Returns True if the frame was accepted onto the wire.
         """
         sim = self.fabric.sim
+        now = sim.now
+        trace_emit = sim.trace.emit
         self._note_send()
         self.frames_sent += 1
         self.bytes_sent += frame.size
-        sim.trace.emit(
-            sim.now, "net.send", sender.name,
+        trace_emit(
+            now, "net.send", sender.name,
             vlan=self.vlan, kind=type(frame.payload).__name__, mcast=frame.is_multicast,
         )
         if frame.is_multicast:
-            targets = [n for ip, n in self.members.items() if n is not sender]
+            targets = [n for n in self.members.values() if n is not sender]
         else:
             target = self.members.get(frame.dst)  # type: ignore[arg-type]
             if target is None or target is sender:
-                sim.trace.emit(sim.now, "net.drop.noroute", sender.name, dst=str(frame.dst))
+                trace_emit(now, "net.drop.noroute", sender.name, dst=str(frame.dst))
                 return True  # on the wire, nobody home
             targets = [target]
-        rng = sim.rng.stream(f"segment/{self.vlan}")
-        load = self.offered_load
         sender_switch = sender.port.switch.name if sender.port is not None else None
+        # phase 1: topology eligibility (islands, dead switches, dead trunk
+        # routers) — receivers that fail here never reach the loss model
+        eligible = []
         for nic in targets:
             if not self._same_island(sender.ip, nic.ip):
                 continue
             if nic.port is not None and nic.port.switch.failed:
                 self.frames_lost += 1
-                sim.trace.emit(sim.now, "net.drop.switch", nic.name, switch=nic.port.switch.name)
+                trace_emit(now, "net.drop.switch", nic.name, switch=nic.port.switch.name)
                 continue
             if (
                 sender_switch is not None
@@ -175,16 +183,38 @@ class Segment:
                 # third component class); the VLAN is partitioned along
                 # switch boundaries
                 self.frames_lost += 1
-                sim.trace.emit(sim.now, "net.drop.router", nic.name,
-                               from_switch=sender_switch, to_switch=nic.port.switch.name)
+                trace_emit(now, "net.drop.router", nic.name,
+                           from_switch=sender_switch, to_switch=nic.port.switch.name)
                 continue
+            eligible.append(nic)
+        if not eligible:
+            return True
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = sim.rng.stream(f"segment/{self.vlan}")
+        load = self.offered_load
+        schedule = sim.schedule
+        if len(eligible) == 1:
+            nic = eligible[0]
             delivered, latency = self.quality.sample(rng, load)
             if not delivered:
                 self.frames_lost += 1
-                sim.trace.emit(sim.now, "net.drop.loss", nic.name, vlan=self.vlan)
+                trace_emit(now, "net.drop.loss", nic.name, vlan=self.vlan)
+                return True
+            self.frames_delivered += 1
+            schedule(latency, nic.deliver, frame)
+            return True
+        # phase 2: multicast fan-out — one vectorised RNG draw per frame
+        # instead of one Python-level draw per receiver
+        delivered, lats = self.quality.sample_batch(rng, load, len(eligible))
+        scalar_lat = not isinstance(lats, np.ndarray)
+        for i, nic in enumerate(eligible):
+            if delivered is not None and not delivered[i]:
+                self.frames_lost += 1
+                trace_emit(now, "net.drop.loss", nic.name, vlan=self.vlan)
                 continue
             self.frames_delivered += 1
-            sim.schedule(latency, nic.deliver, frame)
+            schedule(lats if scalar_lat else float(lats[i]), nic.deliver, frame)
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -72,12 +72,20 @@ class OSModel:
     a scenario never perturbs another node's delays.
     """
 
+    #: unit draws prefetched per vectorised RNG call (one numpy call
+    #: amortised over this many events)
+    BUFFER = 256
+
     def __init__(self, sim: Simulator, host_name: str, params: OSParams) -> None:
         self.sim = sim
         self.params = params
         self.rng = sim.rng.stream(f"os/{host_name}")
         # the daemon is modelled single-threaded: event handling serializes
         self._busy_until = 0.0
+        # prefetched uniform [0,1) draws; every simulated event costs a
+        # proc_delay draw, so scalar numpy calls would dominate the model
+        self._buf: list[float] = []
+        self._buf_i = 0
 
     # ------------------------------------------------------------------
     # draws
@@ -86,7 +94,16 @@ class OSModel:
         lo, hi = lohi
         if hi <= lo:
             return lo
-        return float(self.rng.uniform(lo, hi))
+        i = self._buf_i
+        buf = self._buf
+        if i >= len(buf):
+            # uniform(lo, hi) is lo + (hi-lo) * next_double(), so scaling a
+            # prefetched unit draw consumes the stream identically to the
+            # scalar call — the replayed history is unchanged
+            buf = self._buf = self.rng.random(self.BUFFER).tolist()
+            i = 0
+        self._buf_i = i + 1
+        return lo + (hi - lo) * buf[i]
 
     def boot_delay(self) -> float:
         """When the daemon comes up after the node does."""

@@ -10,6 +10,21 @@ The engine is deliberately tiny and allocation-light — large farm sweeps
 schedule millions of events, and the paper's experiments (Figure 5) need
 2..55-node farms with three adapters per node to run in well under a second
 each so the benchmark harness can sweep them.
+
+Performance invariants (relied on by the benchmarks, documented in
+docs/PROTOCOL.md):
+
+* heap entries are plain ``(time, priority, seq, event)`` tuples, so heap
+  sifting compares at C speed and never calls back into Python — ``seq`` is
+  unique, so comparisons never reach the event object;
+* :meth:`Simulator.pending_count` is O(1), backed by a live-event counter
+  maintained by ``schedule``/``cancel``/``run``;
+* cancelled events are purged *lazily*: they are skipped when they surface,
+  and when more than half the heap (and at least :data:`PURGE_THRESHOLD`
+  entries) is dead the heap is compacted in place, so long-lived heaps of
+  dead heartbeat timers do not bloat every ``heappush``/``heappop``;
+* :meth:`Simulator.reschedule` re-arms a fired event in place, letting
+  periodic timers run without allocating a fresh ``Event`` per tick.
 """
 
 from __future__ import annotations
@@ -20,7 +35,11 @@ from typing import Any, Callable, Optional
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
 
-__all__ = ["Event", "Simulator", "SimulationError"]
+__all__ = ["Event", "Simulator", "SimulationError", "PURGE_THRESHOLD"]
+
+#: minimum number of dead (cancelled-but-queued) entries before the heap is
+#: compacted; below this the cost of a rebuild outweighs the bloat
+PURGE_THRESHOLD = 64
 
 
 class SimulationError(RuntimeError):
@@ -30,10 +49,12 @@ class SimulationError(RuntimeError):
 class Event:
     """A scheduled callback. Returned by :meth:`Simulator.schedule`.
 
-    Instances are single-shot: once fired or cancelled they stay inert.
+    Instances are single-shot: once fired or cancelled they stay inert,
+    unless the owning simulator re-arms them via
+    :meth:`Simulator.reschedule` (the periodic-timer fast path).
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "fired")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "fired", "sim")
 
     def __init__(
         self,
@@ -50,10 +71,19 @@ class Event:
         self.args = args
         self.cancelled = False
         self.fired = False
+        #: owning simulator; set by ``schedule`` so ``cancel`` can keep the
+        #: live/dead counters exact
+        self.sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing. Safe to call more than once."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._live -= 1
+            sim._dead += 1
 
     @property
     def pending(self) -> bool:
@@ -88,13 +118,20 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
         self.now: float = 0.0
-        self._queue: list[Event] = []
+        # heap of (time, priority, seq, Event); seq is unique so tuple
+        # comparison is total and never falls through to Event.__lt__
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq: int = 0
         self._running = False
         self._stopped = False
+        #: events scheduled and neither fired nor cancelled (O(1) pending_count)
+        self._live: int = 0
+        #: cancelled events still sitting in the heap (lazy-purge bookkeeping)
+        self._dead: int = 0
         self.rng = RngRegistry(seed)
         self.trace = trace if trace is not None else Trace()
-        #: number of events executed so far (monotonic; useful in tests)
+        #: number of events executed so far (monotonic; updated when
+        #: :meth:`run` returns, not per event — read it between runs)
         self.events_executed: int = 0
 
     # ------------------------------------------------------------------
@@ -106,7 +143,16 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self.now + delay, fn, *args, priority=priority)
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        ev.sim = self
+        heapq.heappush(self._queue, (time, priority, seq, ev))
+        self._live += 1
+        if self._dead > PURGE_THRESHOLD and self._dead * 2 > len(self._queue):
+            self._purge()
+        return ev
 
     def schedule_at(
         self, time: float, fn: Callable[..., Any], *args: Any, priority: int = 0
@@ -116,9 +162,41 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: t={time!r} < now={self.now!r}"
             )
-        ev = Event(time, priority, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._queue, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args)
+        ev.sim = self
+        heapq.heappush(self._queue, (time, priority, seq, ev))
+        self._live += 1
+        if self._dead > PURGE_THRESHOLD and self._dead * 2 > len(self._queue):
+            self._purge()
+        return ev
+
+    def reschedule(self, ev: Event, delay: float, priority: Optional[int] = None) -> Event:
+        """Re-arm a *fired* event ``delay`` seconds from now, in place.
+
+        This is the periodic-timer fast path: the :class:`Event` object (and
+        its ``fn``/``args``) is reused instead of allocating one per tick.
+        Only an event that has fired and was not cancelled may be re-armed;
+        anything else is a bug in the caller and raises
+        :class:`SimulationError`. Returns the same event.
+        """
+        if ev.cancelled or not ev.fired:
+            raise SimulationError(
+                f"reschedule() needs a fired, uncancelled event, got {ev!r}"
+            )
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        ev.time = time
+        ev.seq = seq
+        if priority is not None:
+            ev.priority = priority
+        ev.fired = False
+        heapq.heappush(self._queue, (time, ev.priority, seq, ev))
+        self._live += 1
         return ev
 
     # ------------------------------------------------------------------
@@ -133,8 +211,12 @@ class Simulator:
             Stop once the clock would pass this time; the clock is advanced
             to exactly ``until``. ``None`` runs until the queue drains.
         max_events:
-            Safety valve for runaway protocols; raises
-            :class:`SimulationError` when exceeded.
+            Safety valve for runaway protocols: the maximum number of
+            *fired* events this call may execute. Skipping a cancelled
+            event is free and does not count. The run raises
+            :class:`SimulationError` as soon as one more live event would
+            fire beyond the budget; draining the queue in exactly
+            ``max_events`` firings is fine.
 
         Returns
         -------
@@ -146,45 +228,69 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # hot loop: hoist attribute lookups; the queue list is mutated only
+        # in place (including by _purge), so the local alias stays valid
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                ev = self._queue[0]
+            while queue:
+                entry = queue[0]
+                ev = entry[3]
                 if ev.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
+                    self._dead -= 1
                     continue
-                if until is not None and ev.time > until:
-                    break
-                heapq.heappop(self._queue)
-                self.now = ev.time
-                ev.fired = True
-                ev.fn(*ev.args)
-                self.events_executed += 1
-                executed += 1
-                if self._stopped:
+                when = entry[0]
+                if until is not None and when > until:
                     break
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway protocol?)"
                     )
+                heappop(queue)
+                self.now = when
+                ev.fired = True
+                executed += 1
+                ev.fn(*ev.args)
+                if self._stopped:
+                    break
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:
             self._running = False
+            self._live -= executed
+            self.events_executed += executed
+            if self._dead > PURGE_THRESHOLD and self._dead * 2 > len(queue):
+                self._purge()
         return self.now
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
         self._stopped = True
 
+    # ------------------------------------------------------------------
+    # queue maintenance & inspection
+    # ------------------------------------------------------------------
+    def _purge(self) -> None:
+        """Compact the heap, dropping cancelled entries (in place, so any
+        live alias of the queue list — e.g. inside :meth:`run` — stays
+        valid)."""
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[3].cancelled]
+        heapq.heapify(queue)
+        self._dead = 0
+
     def pending_count(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued. O(1)."""
+        return self._live
 
     def next_event_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            self._dead -= 1
+        return queue[0][0] if queue else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending_count()})"

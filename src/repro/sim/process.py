@@ -52,6 +52,10 @@ class Timer:
         self.max_fires = max_fires
         self.fires = 0
         self._cancelled = False
+        # prefetched unit draws for the jitter path: one vectorised RNG
+        # call per 64 ticks instead of a scalar numpy call per tick
+        self._jbuf: list[float] = []
+        self._jbuf_i = 0
         first = interval if initial_delay is None else initial_delay
         self._event: Optional[Event] = sim.schedule(self._jittered(first), self._fire)
 
@@ -59,7 +63,15 @@ class Timer:
         if self.jitter == 0.0:
             return base
         assert self.rng is not None
-        return max(0.0, base + float(self.rng.uniform(-self.jitter, self.jitter)))
+        i = self._jbuf_i
+        buf = self._jbuf
+        if i >= len(buf):
+            buf = self._jbuf = self.rng.random(64).tolist()
+            i = 0
+        self._jbuf_i = i + 1
+        # uniform(-j, +j) = -j + 2j * next_double(): same stream consumption
+        delay = base + self.jitter * (2.0 * buf[i] - 1.0)
+        return delay if delay > 0.0 else 0.0
 
     def _fire(self) -> None:
         if self._cancelled:
@@ -72,7 +84,15 @@ class Timer:
             self._cancelled = True
             self._event = None
             return
-        self._event = self.sim.schedule(self._jittered(self.interval), self._fire)
+        delay = self.interval if self.jitter == 0.0 else self._jittered(self.interval)
+        ev = self._event
+        if ev is not None and ev.fired and not ev.cancelled:
+            # hot path: re-arm the just-fired event in place instead of
+            # allocating a fresh Event per tick (heartbeat workloads run
+            # hundreds of timers for simulated hours)
+            self._event = self.sim.reschedule(ev, delay)
+        else:
+            self._event = self.sim.schedule(delay, self._fire)
 
     def cancel(self) -> None:
         """Stop the timer; safe from inside the callback and idempotent."""

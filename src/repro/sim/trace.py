@@ -41,9 +41,12 @@ class Trace:
     ----------
     store:
         If False, nothing is stored — only counters are kept. Benchmarks use
-        this mode.
+        this mode; with no subscribers attached, ``emit`` then skips
+        :class:`TraceRecord` construction entirely (the fast path).
     categories:
-        If given, only these categories are *stored* (all are counted).
+        If given, only these categories produce records — stored *and*
+        delivered to subscribers. Every category is still counted; the
+        filter governs record construction, not accounting.
     max_records:
         Hard cap on stored records; older records are kept, newer dropped,
         and :attr:`truncated` is set. Protects long sweeps from unbounded
@@ -63,15 +66,25 @@ class Trace:
         self.max_records = max_records
         self.truncated = False
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+        # fast-path guard: True while no record could ever be consumed, so
+        # emit() is counter-increment-and-return. Recomputed on subscribe().
+        self._passive = not store
 
     def emit(self, time: float, category: str, source: str, **data: Any) -> None:
-        """Record one event. Cheap when storage is off for the category."""
+        """Record one event. Cheap when storage is off for the category.
+
+        Counters are *always* maintained (they are the determinism
+        contract the golden-trace tests assert on); record construction is
+        skipped whenever nobody — store or subscriber — would see it.
+        """
         self.counters[category] += 1
-        wanted = self.store and (self.categories is None or category in self.categories)
-        if not wanted and not self._subscribers:
+        if self._passive:
+            return
+        categories = self.categories
+        if categories is not None and category not in categories:
             return
         rec = TraceRecord(time, category, source, data)
-        if wanted:
+        if self.store:
             if len(self.records) < self.max_records:
                 self.records.append(rec)
             else:
@@ -80,8 +93,16 @@ class Trace:
             sub(rec)
 
     def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
-        """Call ``fn`` for every record matching the storage filter or not."""
+        """Call ``fn`` for every emitted record that passes the category
+        filter.
+
+        Subscribers see the same record stream the store would keep: if a
+        ``categories`` filter is set, only matching categories are
+        delivered. ``store=False`` does not silence subscribers — it only
+        disables retention in :attr:`records`.
+        """
         self._subscribers.append(fn)
+        self._passive = False
 
     # ------------------------------------------------------------------
     # queries

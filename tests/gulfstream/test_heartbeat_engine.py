@@ -142,3 +142,27 @@ def test_heartbeat_from_unmonitored_ignored():
     assert stranger not in eng.monitored
     eng.on_heartbeat(stranger, 1)
     assert eng.received == 0
+
+
+def test_send_jitter_derives_from_hb_jitter_frac():
+    """The send timer's jitter is hb_jitter_frac * hb_interval (the old
+    code's `min(0.05*i, 0.45*i)` was a no-op min, always the 0.05 arm)."""
+    _, _, _, eng, *_ = make_engine(4, hb_jitter_frac=0.25)
+    assert eng._send_timer is not None
+    assert eng._send_timer.jitter == pytest.approx(0.25 * 1.0)
+    # large-but-valid fractions still satisfy the Timer's jitter < interval
+    _, _, _, eng2, *_ = make_engine(4, hb_jitter_frac=0.95)
+    assert eng2._send_timer is not None and eng2._send_timer.jitter < 1.0
+
+
+def test_zero_jitter_frac_disables_send_jitter():
+    sim, proto, _, eng, *_ = make_engine(4, hb_jitter_frac=0.0)
+    assert eng._send_timer is not None and eng._send_timer.jitter == 0.0
+    sim.run(until=5.0)
+    assert eng.sent > 0
+
+
+def test_send_targets_cached_in_deterministic_order():
+    _, _, view, eng, *_ = make_engine(4, me="10.0.0.2")
+    assert set(eng._send_targets) == eng.targets
+    assert list(eng._send_targets) == sorted(eng.targets, key=int)

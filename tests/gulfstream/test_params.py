@@ -33,11 +33,21 @@ def test_zero_beacon_duration_is_legal():
         {"hb_mode": "diagonal"},
         {"subgroup_size": 1},
         {"probe_retries": -1},
+        {"hb_jitter_frac": -0.1},
+        {"hb_jitter_frac": 1.0},
     ],
 )
 def test_invalid_params_rejected(kwargs):
     with pytest.raises(ValueError):
         GSParams(**kwargs).validate()
+
+
+def test_hb_jitter_frac_satisfies_timer_contract():
+    """Any valid frac yields jitter < interval, the Timer's requirement."""
+    for frac in (0.0, 0.05, 0.45, 0.999):
+        p = GSParams(hb_jitter_frac=frac)
+        p.validate()
+        assert p.hb_jitter_frac * p.hb_interval < p.hb_interval
 
 
 def test_membership_msg_size_scales_with_members():

@@ -13,10 +13,13 @@ Hypothesis drives the schedules; the simulator's determinism makes every
 counterexample replayable from the printed seed data.
 """
 
+import pytest
 from hypothesis import given, settings, HealthCheck
 from hypothesis import strategies as st
 
 from repro.gulfstream.adapter_proto import AdapterState
+
+pytestmark = pytest.mark.slow
 
 from tests.conftest import FAST, make_flat_farm
 

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.farm.builder import build_testbed
 from repro.gulfstream.params import GSParams
 

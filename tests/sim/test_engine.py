@@ -184,6 +184,120 @@ def test_property_execution_order_is_sorted(delays):
     assert len(times) == len(delays)
 
 
+def test_pending_count_is_o1_counter():
+    """pending_count is a maintained counter, exact through cancel/fire/run."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    assert sim.pending_count() == 100
+    for ev in events[:30]:
+        ev.cancel()
+    assert sim.pending_count() == 70
+    # double-cancel must not double-decrement
+    events[0].cancel()
+    assert sim.pending_count() == 70
+    sim.run(until=50.0)
+    assert sim.pending_count() == sum(1 for ev in events if ev.pending)
+    sim.run()
+    assert sim.pending_count() == 0
+
+
+def test_lazy_purge_compacts_heap_of_dead_events():
+    """Mass-cancelled events do not linger in the heap forever."""
+    from repro.sim.engine import PURGE_THRESHOLD
+
+    sim = Simulator()
+    doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(4 * PURGE_THRESHOLD)]
+    for ev in doomed:
+        ev.cancel()
+    # scheduling is what triggers the compaction check
+    keeper = sim.schedule(1.0, lambda: None)
+    assert len(sim._queue) < len(doomed)
+    assert sim.pending_count() == 1
+    sim.run()
+    assert keeper.fired and not any(ev.fired for ev in doomed)
+
+
+def test_purge_during_run_keeps_loop_consistent():
+    """In-place compaction mid-run must not detach the run loop's queue."""
+    from repro.sim.engine import PURGE_THRESHOLD
+
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(4 * PURGE_THRESHOLD)]
+
+    def cancel_all_then_reschedule():
+        fired.append("first")
+        for ev in doomed:
+            ev.cancel()
+        sim.schedule(1.0, fired.append, "second")  # triggers the purge check
+
+    sim.schedule(1.0, cancel_all_then_reschedule)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.pending_count() == 0 and not sim._queue
+
+
+def test_max_events_counts_fired_events_only():
+    """Cancelled-event pops are free; only fired events hit the guard."""
+    sim = Simulator()
+    for i in range(50):
+        sim.schedule(1.0 + i * 0.001, lambda: None).cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    # 52 pops, but only 2 fired events: a guard of 2 must not trip
+    assert sim.run(max_events=2) == 3.0
+    assert sim.events_executed == 2
+
+
+def test_reschedule_reuses_event_object():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0] and ev.fired
+    again = sim.reschedule(ev, 2.0)
+    assert again is ev and ev.pending
+    sim.run()
+    assert fired == [1.0, 3.0]
+    assert sim.events_executed == 2
+
+
+def test_reschedule_rejects_pending_and_cancelled_events():
+    sim = Simulator()
+    pending = sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.reschedule(pending, 1.0)  # still queued — would corrupt the heap
+    pending.cancel()
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.reschedule(pending, 1.0)  # cancelled events stay inert
+    fired = sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.reschedule(fired, -1.0)  # negative delays still rejected
+
+
+def test_rescheduled_event_keeps_fifo_ordering():
+    """A re-armed event gets a fresh sequence number: same-time FIFO holds."""
+    sim = Simulator()
+    order = []
+    ev = sim.schedule(1.0, order.append, "recycled")
+    sim.run()
+    sim.reschedule(ev, 1.0)  # lands at t=2.0
+    sim.schedule(1.0, order.append, "fresh")  # also t=2.0, scheduled later
+    sim.run()
+    assert order == ["recycled", "recycled", "fresh"]
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.run()
+    ev.cancel()
+    assert ev.fired and not ev.cancelled
+    assert sim.pending_count() == 0
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     st.lists(

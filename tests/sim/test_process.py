@@ -87,6 +87,45 @@ def test_timer_rejects_bad_args():
         Timer(sim, 1.0, lambda: None, jitter=0.1)  # jitter without rng
 
 
+def test_timer_reuses_event_object_across_ticks():
+    """The periodic fast path re-arms one Event instead of allocating."""
+    sim = Simulator()
+    t = Timer(sim, 1.0, lambda: None)
+    sim.run(until=0.5)  # not yet fired: the initial event stands
+    first = t._event
+    assert first is not None and first.pending
+    sim.run(until=10.5)
+    assert t.fires == 10
+    assert t._event is first  # same object, re-armed every tick
+    assert first.pending
+    t.cancel()
+    assert not first.pending
+
+
+def test_timer_event_reuse_preserves_tick_schedule():
+    sim = Simulator()
+    ticks = []
+    Timer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.run(until=5.5)
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0]
+    # heap does not accumulate one dead entry per past tick
+    assert len(sim._queue) == 1
+
+
+def test_timer_reuse_with_jitter_keeps_rng_stream():
+    sim = Simulator()
+    rng_a = np.random.default_rng(3)
+    rng_b = np.random.default_rng(3)
+    ticks_a = []
+    Timer(sim, 1.0, lambda: ticks_a.append(sim.now), jitter=0.2, rng=rng_a, max_fires=20)
+    sim.run()
+    sim2 = Simulator()
+    ticks_b = []
+    Timer(sim2, 1.0, lambda: ticks_b.append(sim2.now), jitter=0.2, rng=rng_b, max_fires=20)
+    sim2.run()
+    assert ticks_a == ticks_b  # same rng seed -> identical jittered schedule
+
+
 def test_delayed_one_shot():
     sim = Simulator()
     fired = []

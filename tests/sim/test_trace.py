@@ -74,6 +74,37 @@ def test_subscribe_sees_all_records():
     assert len(seen) == 1 and isinstance(seen[0], TraceRecord)
 
 
+def test_subscribers_respect_category_filter():
+    """The categories filter governs records consistently: storage and
+    subscribers see the same stream, counters see everything."""
+    tr = Trace(categories={"keep"})
+    seen = []
+    tr.subscribe(seen.append)
+    tr.emit(1.0, "keep", "a")
+    tr.emit(2.0, "drop", "a")
+    assert [r.category for r in seen] == ["keep"]
+    assert [r.category for r in tr.records] == ["keep"]
+    assert tr.count("drop") == 1  # counted even though never materialized
+
+
+def test_store_off_without_subscribers_is_pure_counting():
+    """Benchmark mode: no TraceRecord is ever constructed."""
+    import repro.sim.trace as trace_mod
+
+    def boom(*a, **k):
+        raise AssertionError("TraceRecord constructed on the fast path")
+
+    real = trace_mod.TraceRecord
+    trace_mod.TraceRecord = boom  # type: ignore[assignment]
+    try:
+        tr = Trace(store=False)
+        for i in range(100):
+            tr.emit(float(i), "x", "a", payload=i)
+    finally:
+        trace_mod.TraceRecord = real
+    assert tr.count("x") == 100
+
+
 def test_clear_resets_everything():
     tr = Trace()
     tr.emit(1.0, "x", "a")
