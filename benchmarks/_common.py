@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import datetime
 import json
+import os
 import pathlib
 import subprocess
 from typing import Any, Dict
+
+from repro.analysis.sweeps import run_grid  # noqa: F401 — the benches' grid entry point
 
 RESULTS = pathlib.Path(__file__).parent / "results"
 
@@ -44,15 +47,31 @@ def once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Worker count for grid-shaped benches: the ``BENCH_JOBS`` env var.
+
+    The default stays serial so a bare ``pytest benchmarks/`` behaves
+    exactly as before; ``BENCH_JOBS=4 pytest benchmarks/`` fans every
+    converted grid out over the parallel experiment fabric. Sweep results
+    are identical either way (seeds are scheduling-independent).
+    """
+    try:
+        return int(os.environ.get("BENCH_JOBS", default))
+    except ValueError:
+        return default
+
+
 def _git_rev() -> str:
     """Short commit id for trajectory points; 'unknown' outside a checkout."""
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
-            cwd=BENCH_ROOT, capture_output=True, text=True, timeout=5,
+            cwd=BENCH_ROOT, capture_output=True, text=True, timeout=5, check=True,
         )
         return out.stdout.strip() or "unknown"
-    except OSError:
+    except (OSError, subprocess.SubprocessError):
+        # OSError: no git binary; CalledProcessError/TimeoutExpired: not a
+        # checkout, a hosed one, or a hung git — all mean "no rev to report"
         return "unknown"
 
 

@@ -26,7 +26,7 @@ from repro.gulfstream.params import GSParams
 from repro.net.loss import LinkQuality, PerfectLink
 from repro.node.osmodel import OSParams
 
-from _common import emit, once
+from _common import bench_jobs, emit, once, run_grid
 
 N_NODES = 20
 PARAMS = GSParams(beacon_duration=5.0, beacon_interval=1.0)
@@ -69,26 +69,30 @@ def one_trial(p_loss: float, seed: int) -> tuple[int, float | None]:
     return initial, heal_time
 
 
+def loss_point(loss_p: float) -> dict:
+    """All 8 trials of one loss probability (one task per grid point; the
+    historical per-trial seeds are kept so the table stays identical)."""
+    missing, heal_times = [], []
+    for trial in range(8):
+        size, heal_time = one_trial(loss_p, seed=1000 * trial + 7)
+        missing.append(N_NODES - size)
+        heal_times.append(heal_time)
+    healed = [t for t in heal_times if t is not None]
+    return {
+        "p_miss_all_k": p_miss_all_beacons(loss_p, K_BEACONS),
+        "predicted_missing": N_NODES * p_miss_all_beacons(loss_p, K_BEACONS),
+        "measured_missing": float(np.mean(missing)),
+        "healed": f"{len(healed)}/{len(heal_times)}",
+        "heal_time_s": float(np.mean(healed)) if healed else float("nan"),
+    }
+
+
 def run_sweep():
-    rows = []
-    for p in (0.0, 0.3, 0.5, 0.7, 0.8, 0.9):
-        missing, heal_times = [], []
-        for trial in range(8):
-            size, heal_time = one_trial(p, seed=1000 * trial + 7)
-            missing.append(N_NODES - size)
-            heal_times.append(heal_time)
-        healed = [t for t in heal_times if t is not None]
-        rows.append(
-            {
-                "loss_p": p,
-                "p_miss_all_k": p_miss_all_beacons(p, K_BEACONS),
-                "predicted_missing": N_NODES * p_miss_all_beacons(p, K_BEACONS),
-                "measured_missing": float(np.mean(missing)),
-                "healed": f"{len(healed)}/{len(heal_times)}",
-                "heal_time_s": float(np.mean(healed)) if healed else float("nan"),
-            }
-        )
-    return rows
+    return run_grid(
+        loss_point,
+        {"loss_p": (0.0, 0.3, 0.5, 0.7, 0.8, 0.9)},
+        jobs=bench_jobs(),
+    )
 
 
 def test_beacon_loss_distribution(benchmark):

@@ -22,7 +22,7 @@ from repro.gulfstream.params import GSParams
 from repro.net.loss import LinkQuality
 from repro.node.osmodel import OSParams
 
-from _common import emit, once
+from _common import bench_jobs, emit, once, run_grid
 
 BASE = GSParams(beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
                 probe_timeout=0.5, orphan_timeout=4.0, takeover_stagger=0.5,
@@ -42,20 +42,23 @@ def detection_latency(params: GSParams, seed: int) -> float:
     return times[0] - t0
 
 
+def latency_point(t_hb: float, k: int) -> dict:
+    lat = np.mean([
+        detection_latency(BASE.derive(hb_interval=t_hb, hb_miss_threshold=k),
+                          seed=10 * int(t_hb * 2) + k + s)
+        for s in range(3)
+    ])
+    # analytic: suspicion after (k+~0.5)*t_hb, then probe
+    # verification (1 probe + retries worst case) and recommit
+    return {"detect_s": float(lat), "suspicion_floor_s": (k + 0.5) * t_hb}
+
+
 def run_latency_sweep():
-    rows = []
-    for t_hb in (0.5, 1.0, 2.0):
-        for k in (1, 2, 3):
-            lat = np.mean([
-                detection_latency(BASE.derive(hb_interval=t_hb, hb_miss_threshold=k),
-                                  seed=10 * int(t_hb * 2) + k + s)
-                for s in range(3)
-            ])
-            # analytic: suspicion after (k+~0.5)*t_hb, then probe
-            # verification (1 probe + retries worst case) and recommit
-            rows.append({"t_hb": t_hb, "k": k, "detect_s": float(lat),
-                         "suspicion_floor_s": (k + 0.5) * t_hb})
-    return rows
+    return run_grid(
+        latency_point,
+        {"t_hb": (0.5, 1.0, 2.0), "k": (1, 2, 3)},
+        jobs=bench_jobs(),
+    )
 
 
 def test_detection_latency_tradeoff(benchmark):
@@ -106,13 +109,19 @@ def false_reports(params: GSParams, seed: int) -> int:
                if n.kind == "adapter_failed" and n.time > t0)
 
 
+def ladder_point(scheme: str) -> dict:
+    overrides = dict(LADDER)[scheme]
+    params = BASE.derive(hb_interval=1.0, **overrides)
+    fps = [false_reports(params, seed=101 + s) for s in range(3)]
+    return {"false_reports_120s": float(np.mean(fps))}
+
+
 def run_false_positive_ladder():
-    rows = []
-    for label, overrides in LADDER:
-        params = BASE.derive(hb_interval=1.0, **overrides)
-        fps = [false_reports(params, seed=101 + s) for s in range(3)]
-        rows.append({"scheme": label, "false_reports_120s": float(np.mean(fps))})
-    return rows
+    return run_grid(
+        ladder_point,
+        {"scheme": [label for label, _ in LADDER]},
+        jobs=bench_jobs(),
+    )
 
 
 def test_false_report_ladder(benchmark):

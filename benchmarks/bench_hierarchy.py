@@ -20,7 +20,7 @@ from repro.gulfstream.params import GSParams
 from repro.node.faults import FaultInjector
 from repro.node.osmodel import OSParams
 
-from _common import emit, once
+from _common import bench_jobs, emit, once, run_grid
 
 PARAMS = GSParams(beacon_duration=2.0, amg_stable_wait=2.0, gsc_stable_wait=4.0,
                   hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
@@ -57,12 +57,18 @@ def churn_run(n_zones: int, use_zones: bool, seed: int) -> dict:
     }
 
 
+def comparison_point(n_zones: int, use_zones: bool) -> dict:
+    # flat and zoned runs share seed=500+n_zones on purpose: identical
+    # churn makes the frame counts directly comparable
+    return churn_run(n_zones, use_zones, seed=500 + n_zones)
+
+
 def run_comparison():
-    rows = []
-    for n_zones in (3, 6):
-        for use_zones in (False, True):
-            rows.append(churn_run(n_zones, use_zones, seed=500 + n_zones))
-    return rows
+    return run_grid(
+        comparison_point,
+        {"n_zones": (3, 6), "use_zones": (False, True)},
+        jobs=bench_jobs(),
+    )
 
 
 def test_hierarchy_reduces_central_pressure(benchmark):

@@ -4,12 +4,21 @@ Every benchmark prints its reproduction as a plain-text table (the paper's
 "figures" are one-dimensional sweeps, so rows are the honest rendering).
 ``run_grid`` evaluates a function over a parameter grid; ``format_table``
 renders rows the way the benches and EXPERIMENTS.md present them.
+
+``run_grid`` is a thin facade over :func:`repro.runner.run_sweep` — the
+parallel experiment fabric. The defaults are the historical serial
+in-process evaluation; pass ``jobs``/``replicates``/``seed_arg``/``cache``
+to fan out over a worker pool, replicate each point over independent
+seeds, or replay unchanged points from the on-disk result cache. Rows are
+identical for every ``jobs`` value (seeds are a pure function of the task
+identity, results are reassembled in grid order).
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.runner.sweep import run_sweep
 
 __all__ = ["format_table", "run_grid"]
 
@@ -18,22 +27,17 @@ def run_grid(
     fn: Callable[..., Mapping],
     grid: Dict[str, Sequence],
     fixed: Optional[Dict] = None,
+    **sweep_options,
 ) -> List[Dict]:
     """Evaluate ``fn(**point, **fixed)`` over the cartesian grid.
 
     Each result mapping is merged with the grid point into one row dict;
-    rows come back in grid order (last key varies fastest).
+    rows come back in grid order (last key varies fastest). Keyword
+    options (``jobs``, ``replicates``, ``experiment``, ``seed_arg``,
+    ``base_seed``, ``cache``, ``timeout``, ``chunk_size``) pass through
+    to :func:`repro.runner.run_sweep`.
     """
-    fixed = fixed or {}
-    keys = list(grid)
-    rows: List[Dict] = []
-    for values in itertools.product(*(grid[k] for k in keys)):
-        point = dict(zip(keys, values))
-        result = fn(**point, **fixed)
-        row = dict(point)
-        row.update(result)
-        rows.append(row)
-    return rows
+    return run_sweep(fn, grid, fixed, **sweep_options)
 
 
 def format_table(

@@ -5,13 +5,20 @@ explored without writing Python::
 
     gulfstream-sim discover --nodes 55 --beacon 5
     gulfstream-sim fig5 --nodes 2,10,25,55 --beacon-times 5,10,20
+    gulfstream-sim fig5 --jobs 4 --replicates 5 --cache
     gulfstream-sim storm --nodes 10 --duration 180
     gulfstream-sim move --domain-size 4
     gulfstream-sim detectors --members 32
     gulfstream-sim serve --rate 100 --event move
 
 Every command prints a plain-text report; ``--seed`` makes any run exactly
-reproducible.
+reproducible. The sweep-shaped commands (``fig5``, ``detectors``, and
+``discover`` with ``--replicates``) fan their independent runs out over
+the parallel experiment fabric (:mod:`repro.runner`): ``--jobs N`` uses N
+worker processes, ``--replicates N`` averages N independently-seeded runs
+per point (tables gain ``*_sd`` confidence columns), and ``--cache``
+replays unchanged points from the on-disk result cache. Results are
+byte-identical for every ``--jobs`` value.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import format_table, measure_stability, summarize_farm
+from repro.analysis import format_table, measure_stability, run_grid, summarize_farm
 from repro.gulfstream.params import GSParams
 
 __all__ = ["main", "build_parser"]
@@ -34,10 +41,92 @@ def _csv_floats(text: str) -> List[float]:
     return [float(x) for x in text.split(",") if x]
 
 
+def _sweep_options(args, experiment: str) -> dict:
+    """The ``run_grid`` pass-through options shared by sweep commands."""
+    cache = None
+    if getattr(args, "cache", False):
+        from repro.runner import ResultCache
+
+        cache = ResultCache()
+    return dict(
+        jobs=args.jobs,
+        replicates=args.replicates,
+        experiment=experiment,
+        seed_arg="seed",
+        base_seed=args.seed,
+        cache=cache,
+    )
+
+
+def _with_sd(columns: List[str], replicates: int, over: List[str]) -> List[str]:
+    """Add the aggregation columns replicated sweeps grow."""
+    if replicates <= 1:
+        return columns
+    out = []
+    for col in columns:
+        out.append(col)
+        if col in over:
+            out.append(f"{col}_sd")
+    return out + ["replicates"]
+
+
+# ----------------------------------------------------------------------
+# sweep task functions (module-level: workers import them by reference)
+# ----------------------------------------------------------------------
+def _fig5_point(T_beacon: float, nodes: int, seed: int) -> dict:
+    r = measure_stability(nodes, beacon_duration=T_beacon, seed=seed)
+    return {"adapters": r.n_adapters, "stable_s": r.stable_time,
+            "delta_s": r.delta}
+
+
+def _discover_point(nodes: int, beacon: float, adapters: int, timeout: float,
+                    seed: int) -> dict:
+    r = measure_stability(nodes, beacon_duration=beacon, seed=seed,
+                          adapters_per_node=adapters, timeout=timeout)
+    return {"adapters": r.n_adapters, "stable_s": r.stable_time,
+            "delta_s": r.delta}
+
+
+def _detector_point(scheme: str, members: int, seed: int) -> dict:
+    from repro.detectors import (
+        AllPairsDetector, CentralPollDetector, DetectorHarness, DetectorParams,
+        GossipDetector, RingDetector,
+    )
+
+    cls = {
+        "ring (GulfStream)": RingDetector,
+        "all-pairs (HACMP)": AllPairsDetector,
+        "random ping [9]": GossipDetector,
+        "central poll": CentralPollDetector,
+    }[scheme]
+    h = DetectorHarness(members, cls, DetectorParams(), seed=seed)
+    h.start()
+    h.run(until=20)
+    load = h.load_stats()["frames_per_sec"]
+    ip = h.crash(members // 2)
+    h.run(until=60)
+    return {"frames_per_sec": load, "detect_s": h.detection_time(ip)}
+
+
 # ----------------------------------------------------------------------
 # subcommands
 # ----------------------------------------------------------------------
 def cmd_discover(args) -> int:
+    if args.replicates > 1:
+        rows = run_grid(
+            _discover_point, {},
+            fixed={"nodes": args.nodes, "beacon": args.beacon,
+                   "adapters": args.adapters, "timeout": args.timeout},
+            **_sweep_options(args, "cli.discover"),
+        )
+        print(format_table(
+            rows,
+            columns=_with_sd(["adapters", "stable_s", "delta_s"],
+                             args.replicates, over=["stable_s", "delta_s"]),
+            title=f"discovery over {args.replicates} independently-seeded runs "
+                  f"({args.nodes} nodes)",
+        ))
+        return 0
     params = GSParams(beacon_duration=args.beacon)
     from repro.farm import build_testbed
 
@@ -56,16 +145,15 @@ def cmd_discover(args) -> int:
 
 
 def cmd_fig5(args) -> int:
-    rows = []
-    for tb in args.beacon_times:
-        for n in args.nodes:
-            r = measure_stability(n, beacon_duration=tb, seed=args.seed + n)
-            rows.append({
-                "T_beacon": tb, "nodes": n, "adapters": r.n_adapters,
-                "stable_s": r.stable_time, "delta_s": r.delta,
-            })
+    rows = run_grid(
+        _fig5_point,
+        {"T_beacon": args.beacon_times, "nodes": args.nodes},
+        **_sweep_options(args, "cli.fig5"),
+    )
     print(format_table(
-        rows, columns=["T_beacon", "nodes", "adapters", "stable_s", "delta_s"],
+        rows,
+        columns=_with_sd(["T_beacon", "nodes", "adapters", "stable_s", "delta_s"],
+                         args.replicates, over=["stable_s", "delta_s"]),
         title="Figure 5 — time for all groups to become stable",
     ))
     return 0
@@ -135,28 +223,17 @@ def cmd_move(args) -> int:
 
 
 def cmd_detectors(args) -> int:
-    from repro.detectors import (
-        AllPairsDetector, CentralPollDetector, DetectorHarness, DetectorParams,
-        GossipDetector, RingDetector,
+    rows = run_grid(
+        _detector_point,
+        {"scheme": ["ring (GulfStream)", "all-pairs (HACMP)",
+                    "random ping [9]", "central poll"]},
+        fixed={"members": args.members},
+        **_sweep_options(args, "cli.detectors"),
     )
-
-    rows = []
-    for label, cls in (
-        ("ring (GulfStream)", RingDetector),
-        ("all-pairs (HACMP)", AllPairsDetector),
-        ("random ping [9]", GossipDetector),
-        ("central poll", CentralPollDetector),
-    ):
-        h = DetectorHarness(args.members, cls, DetectorParams(), seed=args.seed)
-        h.start()
-        h.run(until=20)
-        load = h.load_stats()["frames_per_sec"]
-        ip = h.crash(args.members // 2)
-        h.run(until=60)
-        rows.append({"scheme": label, "frames_per_sec": load,
-                     "detect_s": h.detection_time(ip)})
     print(format_table(
-        rows, columns=["scheme", "frames_per_sec", "detect_s"],
+        rows,
+        columns=_with_sd(["scheme", "frames_per_sec", "detect_s"],
+                         args.replicates, over=["frames_per_sec", "detect_s"]),
         title=f"failure detectors, {args.members} members",
     ))
     return 0
@@ -203,6 +280,18 @@ def cmd_serve(args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--seed", type=int, default=0, help="master RNG seed")
+    common.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep commands (1 = in-process; "
+             "0 = one per CPU); results are identical for any value")
+    common.add_argument(
+        "--replicates", type=int, default=1,
+        help="independently-seeded runs per sweep point, averaged with "
+             "*_sd confidence columns (sweep commands only)")
+    common.add_argument(
+        "--cache", action="store_true",
+        help="replay unchanged sweep points from the on-disk result cache "
+             "($GULFSTREAM_CACHE_DIR, default ~/.cache/gulfstream-sim)")
     parser = argparse.ArgumentParser(
         prog="gulfstream-sim",
         description="GulfStream (CLUSTER 2001) reproduction — scenario runner",

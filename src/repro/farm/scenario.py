@@ -44,6 +44,7 @@ class Scenario:
         churn: Optional[dict] = None,
         duration: float = 120.0,
         ambient_load: Optional[Dict[int, float]] = None,
+        stability_timeout: Optional[float] = None,
     ) -> None:
         """
         Parameters
@@ -58,12 +59,20 @@ class Scenario:
         ambient_load:
             VLAN id → extra offered load (msgs/sec) modelling application
             traffic sharing the segments.
+        stability_timeout:
+            How long (simulated seconds) to wait for the initial
+            discovery to stabilize before running the body of the
+            scenario. Default: ``min(duration, 300.0)``.
         """
         self.farm = farm
         self.plan = plan
         self.churn_cfg = churn
         self.duration = duration
         self.ambient_load = ambient_load or {}
+        self.stability_timeout = (
+            stability_timeout if stability_timeout is not None
+            else min(duration, 300.0)
+        )
         self.injector: Optional[FaultInjector] = None
 
     def run(self) -> ScenarioResult:
@@ -82,7 +91,7 @@ class Scenario:
             )
             sim.schedule(self.churn_cfg.get("start", 0.0), self.injector.start)
         farm.start()
-        stable = farm.run_until_stable(timeout=min(self.duration, 300.0))
+        stable = farm.run_until_stable(timeout=self.stability_timeout)
         sim.run(until=self.duration)
         gsc = farm.gsc()
         segment_stats = {

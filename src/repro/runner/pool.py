@@ -1,0 +1,206 @@
+"""Process-pool task dispatch with graceful degradation.
+
+:class:`ParallelRunner` fans a list of keyword-argument dicts out to one
+callable over a ``ProcessPoolExecutor`` using the ``spawn`` start method
+(identical behavior on every platform, no inherited interpreter state).
+Design points:
+
+* **Chunked dispatch.** Tasks are grouped into contiguous chunks (one
+  future per chunk) so per-task IPC overhead amortizes over short tasks
+  while long tasks still spread across workers.
+* **Order independence.** Results are reassembled by task index — the
+  caller sees list order, never completion order.
+* **Per-task timeout.** ``timeout`` is a per-task budget; a run whose
+  pooled budget expires raises :class:`TaskTimeout` (a hung simulation
+  would hang serially too — silently re-running it in-process would just
+  hang the parent).
+* **Graceful fallback.** ``jobs=1``, a single task, an unpicklable
+  callable, or a pool that dies mid-run (``BrokenProcessPool``) all fall
+  back to plain in-process execution of whatever has not completed; task
+  exceptions themselves propagate unchanged, exactly as they would
+  serially.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+__all__ = ["ParallelRunner", "TaskTimeout", "sleep_task"]
+
+#: marks a slot whose task has not produced a result yet
+_PENDING = object()
+
+#: pickling a closure/lambda fails with one of these, depending on path
+_PICKLE_ERRORS = (pickle.PicklingError, AttributeError, TypeError)
+
+
+class TaskTimeout(RuntimeError):
+    """A sweep's pooled per-task time budget expired."""
+
+
+def _run_chunk(fn: Callable[..., Any], kwargs_list: List[Dict[str, Any]]) -> List[Any]:
+    """Worker-side entry point: run one contiguous chunk of tasks."""
+    return [fn(**kwargs) for kwargs in kwargs_list]
+
+
+def sleep_task(seconds: float) -> Dict[str, float]:
+    """Sleep-only task for measuring pool *overlap*.
+
+    Sleeps overlap perfectly across workers while CPU-bound work cannot
+    exceed the core count, so tests and benches use this to verify the
+    dispatch fabric actually runs tasks concurrently — independent of how
+    many cores the host happens to have.
+    """
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+class ParallelRunner:
+    """Dispatch independent tasks over a spawn-based worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes. ``1`` (the default) runs everything in-process
+        with zero pool machinery; ``0``/negative means one per CPU.
+    timeout:
+        Per-task wall-clock budget in seconds, enforced while the pool
+        drains (pooled across outstanding tasks). ``None`` disables it.
+        The in-process path cannot preempt a task, so there it is not
+        enforced.
+    chunk_size:
+        Tasks per dispatched chunk. Default: enough chunks for ~4 rounds
+        per worker, so stragglers rebalance.
+    mp_context:
+        ``multiprocessing`` start method; ``spawn`` by default.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        chunk_size: Optional[int] = None,
+        mp_context: str = "spawn",
+    ) -> None:
+        if jobs <= 0:
+            jobs = multiprocessing.cpu_count()
+        self.jobs = jobs
+        self.timeout = timeout
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        #: how the last ``map`` actually executed: "serial", "pool", or
+        #: "pool+fallback" (pool died, remainder ran in-process)
+        self.last_mode: str = "serial"
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[..., Any], kwargs_list: Sequence[Dict[str, Any]]) -> List[Any]:
+        """``[fn(**kw) for kw in kwargs_list]``, possibly in parallel."""
+        tasks = list(kwargs_list)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            self.last_mode = "serial"
+            return [fn(**kwargs) for kwargs in tasks]
+
+        # Validate picklability BEFORE the pool exists: on Python 3.11 a
+        # work item whose pickling fails after submission wedges the
+        # executor's management thread and shutdown() deadlocks
+        # (cpython gh-105829, fixed in 3.12) — so lambdas/closures and
+        # unpicklable params must never reach submit().
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(tasks)
+        except (pickle.PicklingError, AttributeError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"sweep tasks are not picklable ({type(exc).__name__}: {exc}); "
+                "running in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.last_mode = "pool+fallback"
+            return [fn(**kwargs) for kwargs in tasks]
+
+        results: List[Any] = [_PENDING] * len(tasks)
+        try:
+            self._pool_map(fn, tasks, results)
+            self.last_mode = "pool"
+        except (BrokenProcessPool, *_PICKLE_ERRORS) as exc:
+            warnings.warn(
+                f"worker pool unavailable ({type(exc).__name__}: {exc}); "
+                "finishing sweep in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.last_mode = "pool+fallback"
+        for i, kwargs in enumerate(tasks):
+            if results[i] is _PENDING:
+                results[i] = fn(**kwargs)
+        return results
+
+    # ------------------------------------------------------------------
+    def _chunks(self, n_tasks: int) -> List[range]:
+        size = self.chunk_size
+        if size is None or size <= 0:
+            size = max(1, -(-n_tasks // (self.jobs * 4)))
+        return [range(lo, min(lo + size, n_tasks)) for lo in range(0, n_tasks, size)]
+
+    def _pool_map(
+        self,
+        fn: Callable[..., Any],
+        tasks: List[Dict[str, Any]],
+        results: List[Any],
+    ) -> None:
+        """Fill ``results`` in place via the pool.
+
+        Raises ``BrokenProcessPool`` / pickling errors for the caller's
+        fallback path; re-raises task exceptions and :class:`TaskTimeout`
+        directly.
+        """
+        chunks = self._chunks(len(tasks))
+        ctx = multiprocessing.get_context(self.mp_context)
+        deadline = (
+            time.monotonic() + self.timeout * len(tasks)
+            if self.timeout is not None
+            else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(chunks)), mp_context=ctx
+        )
+        pending = {
+            pool.submit(_run_chunk, fn, [tasks[i] for i in chunk]): chunk
+            for chunk in chunks
+        }
+        try:
+            while pending:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                done, _ = wait(pending, timeout=remaining, return_when=FIRST_COMPLETED)
+                if not done:
+                    raise TaskTimeout(
+                        f"{sum(len(c) for c in pending.values())} task(s) still "
+                        f"running after the pooled budget "
+                        f"({self.timeout}s/task x {len(tasks)} tasks)"
+                    )
+                for fut in done:
+                    chunk = pending.pop(fut)
+                    for index, value in zip(chunk, fut.result()):
+                        results[index] = value
+        except TaskTimeout:
+            # the stuck tasks would block a graceful join forever — kill
+            # the workers outright before surfacing the timeout
+            for fut in pending:
+                fut.cancel()
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.terminate()
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        except BaseException:
+            for fut in pending:
+                fut.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+            raise
+        else:
+            pool.shutdown(wait=True)

@@ -111,6 +111,27 @@ def test_format_table_renders():
     assert "1.23" in out and "50" in out
 
 
+def test_run_grid_empty_value_list_yields_no_rows():
+    assert run_grid(lambda x: {"y": x}, {"x": []}) == []
+
+
+def test_run_grid_empty_grid_is_one_fixed_point():
+    # fixed kwargs feed the call but only grid keys land in the row
+    rows = run_grid(lambda k: {"out": k * 2}, {}, fixed={"k": 21})
+    assert rows == [{"out": 42}]
+
+
 def test_format_table_empty_rows():
     out = format_table([], columns=["a"], title=None)
     assert "a" in out
+
+
+def test_format_table_non_float_cells():
+    out = format_table(
+        [{"name": "ring", "k": 2, "ok": True, "note": None}],
+        columns=["name", "k", "ok", "note", "absent"],
+    )
+    last = out.splitlines()[-1]
+    assert "ring" in last and "2" in last and "True" in last and "None" in last
+    # a column missing from the row renders as blank, not a crash
+    assert last.rstrip().endswith("None")

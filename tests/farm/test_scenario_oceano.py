@@ -41,6 +41,22 @@ def test_scenario_churn_produces_notifications():
     assert result.count("node_recovered") > 0
 
 
+def test_scenario_stability_timeout_defaults_and_overrides():
+    farm = build_testbed(3, seed=9, params=HB)
+    assert Scenario(farm, duration=50.0).stability_timeout == 50.0
+    assert Scenario(farm, duration=900.0).stability_timeout == 300.0
+    assert Scenario(farm, duration=900.0,
+                    stability_timeout=42.0).stability_timeout == 42.0
+
+
+def test_scenario_custom_stability_timeout_bounds_the_wait():
+    # a timeout far too short for discovery: run() must give up waiting
+    # at that budget instead of the old hardcoded min(duration, 300)
+    farm = build_testbed(3, seed=10, params=HB)
+    result = Scenario(farm, duration=1.0, stability_timeout=0.5).run()
+    assert result.stable_time is None
+
+
 def test_workload_is_deterministic_and_nonnegative():
     wl = SyntheticWorkload(["a", "b"], base=100, amplitude=150, period=60)
     xs = [wl.load("a", t) for t in range(0, 200, 10)]

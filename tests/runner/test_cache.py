@@ -1,0 +1,80 @@
+"""The content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.runner import ResultCache, code_fingerprint, default_cache_dir
+from repro.runner.cache import MISS
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path, fingerprint="f0")
+
+
+def test_roundtrip(cache):
+    key = cache.key("exp", {"n": 5, "seed": 12})
+    assert cache.get(key) is MISS
+    assert cache.put(key, {"stable_s": 30.5, "ok": True})
+    assert cache.get(key) == {"stable_s": 30.5, "ok": True}
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_key_covers_experiment_kwargs_and_fingerprint(tmp_path):
+    a = ResultCache(root=tmp_path, fingerprint="f0")
+    b = ResultCache(root=tmp_path, fingerprint="f1")
+    k = a.key("exp", {"n": 5})
+    assert a.key("exp", {"n": 6}) != k
+    assert a.key("exp2", {"n": 5}) != k
+    # a code edit (different fingerprint) invalidates everything
+    assert b.key("exp", {"n": 5}) != k
+    # kwarg order does not
+    assert a.key("exp", {"n": 5, "m": 1}) == a.key("exp", {"m": 1, "n": 5})
+
+
+def test_unserializable_results_are_skipped_not_fatal(cache):
+    key = cache.key("exp", {"n": 1})
+    assert not cache.put(key, {"obj": object()})
+    assert cache.get(key) is MISS
+    assert cache.stores == 0
+
+
+def test_clear_and_len(cache):
+    for n in range(3):
+        cache.put(cache.key("exp", {"n": n}), {"v": n})
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert cache.get(cache.key("exp", {"n": 0})) is MISS
+
+
+def test_corrupt_entry_is_a_miss(cache, tmp_path):
+    key = cache.key("exp", {"n": 1})
+    cache.put(key, {"v": 1})
+    (tmp_path / f"{key}.json").write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is MISS
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("GULFSTREAM_CACHE_DIR", str(tmp_path / "custom"))
+    assert default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("GULFSTREAM_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "gulfstream-sim"
+
+
+def test_code_fingerprint_stable_within_process():
+    f = code_fingerprint()
+    assert f == code_fingerprint()
+    assert len(f) == 16
+    int(f, 16)  # hex
+
+
+def test_entries_are_json_files_on_disk(cache, tmp_path):
+    key = cache.key("exp", {"n": 2})
+    cache.put(key, {"v": 2.5})
+    doc = json.loads((tmp_path / f"{key}.json").read_text())
+    assert doc["result"] == {"v": 2.5}
+    assert doc["key"] == key

@@ -1,0 +1,97 @@
+"""ParallelRunner: dispatch, ordering, fallback, timeout.
+
+The task callables live at module level so spawn workers can import them
+by reference (``tests.runner.test_pool``).
+"""
+
+import time
+
+import pytest
+
+from repro.runner import ParallelRunner, TaskTimeout, sleep_task
+
+
+def square(x):
+    return {"sq": x * x}
+
+
+def boom(x):
+    raise ValueError(f"task {x} exploded")
+
+
+def napper(x):
+    time.sleep(10.0)
+    return {"x": x}
+
+
+TASKS = [{"x": n} for n in range(7)]
+EXPECTED = [{"sq": n * n} for n in range(7)]
+
+
+def test_serial_path_no_pool():
+    runner = ParallelRunner(jobs=1)
+    assert runner.map(square, TASKS) == EXPECTED
+    assert runner.last_mode == "serial"
+
+
+def test_single_task_skips_pool_even_with_jobs():
+    runner = ParallelRunner(jobs=4)
+    assert runner.map(square, [{"x": 3}]) == [{"sq": 9}]
+    assert runner.last_mode == "serial"
+
+
+def test_pool_results_match_serial_in_order():
+    runner = ParallelRunner(jobs=2)
+    assert runner.map(square, TASKS) == EXPECTED
+    assert runner.last_mode == "pool"
+
+
+def test_unpicklable_fn_falls_back_in_process():
+    runner = ParallelRunner(jobs=2)
+    with pytest.warns(RuntimeWarning, match="not picklable"):
+        out = runner.map(lambda x: {"sq": x * x}, TASKS)
+    assert out == EXPECTED
+    assert runner.last_mode == "pool+fallback"
+
+
+def test_task_exception_propagates_serial():
+    with pytest.raises(ValueError, match="exploded"):
+        ParallelRunner(jobs=1).map(boom, TASKS)
+
+
+def test_task_exception_propagates_from_pool():
+    with pytest.raises(ValueError, match="exploded"):
+        ParallelRunner(jobs=2).map(boom, TASKS)
+
+
+def test_per_task_timeout_raises():
+    runner = ParallelRunner(jobs=2, timeout=0.2)
+    with pytest.raises(TaskTimeout):
+        runner.map(napper, [{"x": 1}, {"x": 2}])
+
+
+def test_chunking_covers_every_index():
+    runner = ParallelRunner(jobs=3, chunk_size=4)
+    chunks = runner._chunks(11)
+    flat = [i for c in chunks for i in c]
+    assert flat == list(range(11))
+    assert all(len(c) <= 4 for c in chunks)
+    # default sizing: enough chunks to rebalance stragglers
+    auto = ParallelRunner(jobs=2)._chunks(40)
+    assert len(auto) >= 8
+    assert [i for c in auto for i in c] == list(range(40))
+
+
+def test_jobs_zero_means_cpu_count():
+    assert ParallelRunner(jobs=0).jobs >= 1
+
+
+@pytest.mark.slow
+def test_sleep_task_overlaps():
+    # sleeps overlap even on a 1-core host: 4 x 0.75s must beat the 3.0s
+    # serial floor by a clear margin despite worker spawn cost
+    t0 = time.perf_counter()
+    out = ParallelRunner(jobs=4).map(sleep_task, [{"seconds": 0.75}] * 4)
+    elapsed = time.perf_counter() - t0
+    assert out == [{"slept": 0.75}] * 4
+    assert elapsed < 2.6, elapsed

@@ -1,5 +1,7 @@
 """The gulfstream-sim command-line interface."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -9,6 +11,17 @@ def run(capsys, *argv):
     code = main(list(argv))
     out = capsys.readouterr().out
     return code, out
+
+
+def fake_stability(seen):
+    """A stand-in for ``measure_stability`` that records each seed."""
+
+    def fake(nodes, beacon_duration, seed, **kwargs):
+        seen.append(seed)
+        return SimpleNamespace(n_adapters=3 * nodes, stable_time=float(seed % 97),
+                               delta=1.0)
+
+    return fake
 
 
 def test_discover(capsys):
@@ -69,6 +82,75 @@ def test_serve_none_event(capsys):
                     "--seed", "5")
     assert code == 0
     assert "failed=0" in out
+
+
+def test_fig5_replicates_grow_sd_columns(monkeypatch, capsys):
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability([]))
+    code, out = run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2",
+                    "--replicates", "3")
+    assert code == 0
+    header = out.splitlines()[1]
+    assert "stable_s_sd" in header and "delta_s_sd" in header
+    assert "replicates" in header
+    assert "3" in out  # the replicate count column
+
+
+def test_fig5_grid_points_get_distinct_seeds(monkeypatch, capsys):
+    # the pre-fabric implementation derived seeds as `args.seed + nodes`,
+    # which replayed the same seed for every T_beacon row — the fabric
+    # hashes the full task identity instead, so all points must differ
+    seen = []
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability(seen))
+    code, _ = run(capsys, "fig5", "--nodes", "2,4,8", "--beacon-times", "2,5",
+                  "--seed", "7")
+    assert code == 0
+    assert len(seen) == 6
+    assert len(set(seen)) == 6
+
+
+def test_fig5_base_seed_changes_every_task_seed(monkeypatch, capsys):
+    first, second = [], []
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability(first))
+    run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2", "--seed", "0")
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability(second))
+    run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2", "--seed", "1")
+    assert len(first) == len(second) == 2
+    assert set(first).isdisjoint(second)
+
+
+def test_discover_replicates_prints_aggregated_table(monkeypatch, capsys):
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability([]))
+    code, out = run(capsys, "discover", "--nodes", "3", "--beacon", "1.5",
+                    "--replicates", "2")
+    assert code == 0
+    assert "independently-seeded" in out
+    assert "stable_s_sd" in out
+
+
+def test_fig5_cache_flag_reuses_results(monkeypatch, capsys, tmp_path):
+    monkeypatch.setenv("GULFSTREAM_CACHE_DIR", str(tmp_path))
+    seen = []
+    monkeypatch.setattr("repro.cli.measure_stability", fake_stability(seen))
+    code, cold = run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2",
+                     "--cache")
+    assert code == 0
+    assert len(seen) == 2
+    assert any(tmp_path.rglob("*.json"))  # results landed on disk
+    code, warm = run(capsys, "fig5", "--nodes", "2,4", "--beacon-times", "2",
+                     "--cache")
+    assert code == 0
+    assert len(seen) == 2  # warm run never re-ran the simulation
+    assert warm == cold
+
+
+@pytest.mark.slow
+def test_fig5_jobs_matches_serial_through_real_cli(capsys):
+    argv = ["fig5", "--nodes", "2", "--beacon-times", "2", "--replicates", "2"]
+    code, serial = run(capsys, *argv)
+    assert code == 0
+    code, parallel = run(capsys, *argv, "--jobs", "2")
+    assert code == 0
+    assert parallel == serial
 
 
 def test_unknown_command_exits():
