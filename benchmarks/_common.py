@@ -75,18 +75,44 @@ def _git_rev() -> str:
         return "unknown"
 
 
+#: bookkeeping keys stamped onto every trajectory point (not metrics)
+_POINT_META = {"date", "rev"}
+
+
 def emit_bench_json(name: str, metrics: Dict[str, Any]) -> pathlib.Path:
     """Append one point to the ``BENCH_<name>.json`` perf trajectory.
 
     The file keeps every recorded run under ``history`` (newest last) plus a
     ``latest`` convenience copy, so a reviewer can diff the head-of-trunk
     numbers without parsing the whole list. Returns the file path.
+
+    Two classes of silent corruption are refused with :class:`ValueError`
+    rather than papered over: a ``schema`` mismatch (an old run against a
+    newer checkout must not wipe the recorded history), and metric-key
+    drift (a ``latest`` point whose keys differ from the last history
+    point's would break trajectory comparisons — rename deliberately by
+    migrating the file, not accidentally).
     """
     path = BENCH_ROOT / f"BENCH_{name}.json"
     if path.exists():
         doc = json.loads(path.read_text())
         if doc.get("schema") != BENCH_SCHEMA:
-            doc = {"schema": BENCH_SCHEMA, "bench": name, "history": []}
+            raise ValueError(
+                f"{path.name}: schema {doc.get('schema')!r} != expected "
+                f"{BENCH_SCHEMA}; migrate the file instead of overwriting it"
+            )
+        history = doc.get("history", [])
+        if history:
+            old_keys = set(history[-1]) - _POINT_META
+            new_keys = set(metrics) - _POINT_META
+            if old_keys != new_keys:
+                gone = sorted(old_keys - new_keys)
+                added = sorted(new_keys - old_keys)
+                raise ValueError(
+                    f"{path.name}: metric keys drifted from the last history "
+                    f"point (missing: {gone or 'none'}, new: {added or 'none'}); "
+                    "migrate the trajectory file if the rename is deliberate"
+                )
     else:
         doc = {"schema": BENCH_SCHEMA, "bench": name, "history": []}
     point = {

@@ -100,7 +100,12 @@ def bench_discovery() -> dict:
     t1 = time.perf_counter()
     farm.sim.run(until=farm.sim.now + 3600.0)
     hour_s = time.perf_counter() - t1
-    events = farm.sim.events_executed
+    # pull the dispatch count through the metrics plane (identical to
+    # sim.events_executed after run() returns; exercises the collector)
+    reg = farm.sim.metrics
+    reg.collect()
+    events = int(reg.counter("sim.events.dispatched").value)
+    assert events == farm.sim.events_executed
     return {
         "discovery16_wallclock_s": round(discovery_s, 4),
         "steady_hour16_wallclock_s": round(hour_s, 4),

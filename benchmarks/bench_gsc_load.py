@@ -33,21 +33,25 @@ def run_gsc_load():
         farm = build_testbed(n, seed=n, params=PARAMS, os_params=OSParams.fast())
         farm.start()
         assert farm.run_until_stable(timeout=120.0) is not None
-        gsc = farm.gsc()
-        discovery_reports = gsc.reports_received
-        discovery_bytes = gsc.reports_bytes
+        # the registry's gsc.* counters are farm-wide and survive GSC
+        # failovers (every Central instance resolves the same instruments),
+        # so read those instead of one instance's tallies
+        m_reports = farm.sim.metrics.counter("gsc.reports")
+        m_bytes = farm.sim.metrics.counter("gsc.report_bytes")
+        discovery_reports = m_reports.value
+        discovery_bytes = m_bytes.value
         # steady state: one minute of nothing happening
         t0 = farm.sim.now
         farm.sim.run(until=t0 + 60.0)
-        steady_reports = gsc.reports_received - discovery_reports
+        steady_reports = m_reports.value - discovery_reports
         # churn: random crash/restart for two minutes
         inj = FaultInjector(farm.sim, farm.hosts, mtbf=120.0, mttr=15.0)
         inj.start()
-        c0 = gsc.reports_received
+        c0 = m_reports.value
         t1 = farm.sim.now
         farm.sim.run(until=t1 + 120.0)
         inj.stop()
-        churn_reports = gsc.reports_received - c0
+        churn_reports = m_reports.value - c0
         rows.append(
             {
                 "nodes": n,
@@ -98,12 +102,12 @@ def run_delta_vs_full():
         farm = build_testbed(n, seed=100 + n, params=PARAMS, os_params=OSParams.fast())
         farm.start()
         assert farm.run_until_stable(timeout=120.0) is not None
-        gsc = farm.gsc()
-        b0 = gsc.reports_bytes
+        m_bytes = farm.sim.metrics.counter("gsc.report_bytes")
+        b0 = m_bytes.value
         t0 = farm.sim.now
         farm.hosts[f"node-{n // 2:02d}"].crash()
         farm.sim.run(until=t0 + 30.0)
-        delta_bytes = gsc.reports_bytes - b0
+        delta_bytes = m_bytes.value - b0
         # full-membership reporting would resend every member of each of
         # the 3 affected groups
         full_bytes = sum(

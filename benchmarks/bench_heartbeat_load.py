@@ -35,13 +35,20 @@ def steady_state_load(n_nodes: int, subgroup_size, seed: int) -> dict:
     farm.start()
     stable = farm.run_until_stable(timeout=120.0)
     assert stable is not None
-    seg = farm.fabric.segments[10]
-    f0, b0 = seg.frames_sent, seg.bytes_sent
+    # read the measured segment through the metrics registry (the same
+    # numbers every --metrics-out export reports) rather than poking the
+    # segment's internal tallies
+    reg = farm.sim.metrics
+    reg.collect()
+    frames = reg.counter("net.segment.frames_sent", vlan=10)
+    octets = reg.counter("net.segment.bytes_sent", vlan=10)
+    f0, b0 = frames.value, octets.value
     t0 = farm.sim.now
     farm.sim.run(until=t0 + MEASURE_WINDOW)
+    reg.collect()
     return {
-        "frames_per_sec": (seg.frames_sent - f0) / MEASURE_WINDOW,
-        "bytes_per_sec": (seg.bytes_sent - b0) / MEASURE_WINDOW,
+        "frames_per_sec": (frames.value - f0) / MEASURE_WINDOW,
+        "bytes_per_sec": (octets.value - b0) / MEASURE_WINDOW,
     }
 
 

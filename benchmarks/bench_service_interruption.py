@@ -17,7 +17,6 @@ until the AMG recommits and the front ends' worker directories update),
 far less than the crash, and service returns to 100 % afterwards.
 """
 
-import numpy as np
 
 from repro.analysis import format_table
 from repro.farm import DomainSpec, FarmSpec, build_farm

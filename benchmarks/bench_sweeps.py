@@ -30,6 +30,7 @@ import tempfile
 import time
 
 from repro.analysis import format_table, measure_stability
+from repro.metrics import MetricsRegistry
 from repro.runner import ResultCache, run_sweep, sleep_task
 
 from _common import emit, emit_bench_json, once
@@ -53,7 +54,7 @@ def stability_point(T_beacon: float, nodes: int, seed: int) -> dict:
     }
 
 
-def _sweep(jobs, cache):
+def _sweep(jobs, cache, metrics):
     return run_sweep(
         stability_point,
         {"T_beacon": BEACON_TIMES, "nodes": NODE_COUNTS},
@@ -62,26 +63,37 @@ def _sweep(jobs, cache):
         experiment="bench.sweeps",
         seed_arg="seed",
         cache=cache,
+        metrics=metrics,
     )
 
 
 def run_fabric():
+    # the fabric accounts for itself in a metrics registry; the cache
+    # numbers below are read back from it rather than from cache internals
+    reg = MetricsRegistry()
+    m_hits = reg.counter("runner.sweep.cache_hits")
+    m_misses = reg.counter("runner.sweep.cache_misses")
+
     t0 = time.perf_counter()
-    serial_rows = _sweep(jobs=1, cache=None)
+    serial_rows = _sweep(jobs=1, cache=None, metrics=reg)
     serial_s = time.perf_counter() - t0
 
     with tempfile.TemporaryDirectory(prefix="gulfstream-bench-cache-") as tmp:
         cache = ResultCache(root=tmp)
         t0 = time.perf_counter()
-        parallel_rows = _sweep(jobs=JOBS, cache=cache)
+        parallel_rows = _sweep(jobs=JOBS, cache=cache, metrics=reg)
         parallel_s = time.perf_counter() - t0
-        cold_misses = cache.misses
+        cold_misses = int(m_misses.value)
 
+        hits_before_warm = m_hits.value
         t0 = time.perf_counter()
-        warm_rows = _sweep(jobs=JOBS, cache=cache)
+        warm_rows = _sweep(jobs=JOBS, cache=cache, metrics=reg)
         warm_s = time.perf_counter() - t0
         # hit rate of the warm re-run alone (the cold run is all misses)
-        hit_rate = cache.hits / (cache.hits + cache.misses - cold_misses)
+        warm_tasks = len(BEACON_TIMES) * len(NODE_COUNTS) * REPLICATES
+        hit_rate = (m_hits.value - hits_before_warm) / warm_tasks
+        # the registry's view must agree with the cache's own tallies
+        assert m_hits.value == cache.hits and m_misses.value == cache.misses
 
     # the determinism contract: worker count, scheduling order, and the
     # cache's JSON round-trip change nothing
@@ -89,11 +101,16 @@ def run_fabric():
     assert warm_rows == serial_rows, "cache replay diverged from computation"
 
     t0 = time.perf_counter()
-    run_sweep(sleep_task, {"seconds": [OVERLAP_SLEEP] * OVERLAP_TASKS}, jobs=1)
+    run_sweep(sleep_task, {"seconds": [OVERLAP_SLEEP] * OVERLAP_TASKS}, jobs=1,
+              metrics=reg)
     overlap_serial_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    run_sweep(sleep_task, {"seconds": [OVERLAP_SLEEP] * OVERLAP_TASKS}, jobs=JOBS)
+    run_sweep(sleep_task, {"seconds": [OVERLAP_SLEEP] * OVERLAP_TASKS}, jobs=JOBS,
+              metrics=reg)
     overlap_parallel_s = time.perf_counter() - t0
+
+    assert reg.counter("runner.sweep.sweeps").value == 5
+    assert reg.histogram("runner.sweep.wall_clock_s").count == 5
 
     return {
         "grid_points": len(BEACON_TIMES) * len(NODE_COUNTS),
@@ -113,6 +130,13 @@ def run_fabric():
         "overlap_speedup": round(overlap_serial_s / overlap_parallel_s, 2),
         "rows": serial_rows,
     }
+
+
+class _NullBenchmark:
+    """Fixture stand-in so the bench also runs without pytest."""
+
+    def pedantic(self, fn, rounds=1, iterations=1):
+        return fn()
 
 
 def test_sweep_fabric(benchmark):
@@ -145,3 +169,7 @@ def test_sweep_fabric(benchmark):
     # CPU-bound speedup only where the silicon allows it
     if m["cpus"] >= 4:
         assert m["speedup"] >= 2.0, m
+
+
+if __name__ == "__main__":
+    test_sweep_fabric(_NullBenchmark())

@@ -6,9 +6,18 @@ tier-1 run (``python -m pytest -x -q``) still executes everything, while
 ``-m "not slow"`` gives the fast pre-commit loop documented in the README.
 """
 
+import pathlib
+
 import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).parent.resolve()
 
 
 def pytest_collection_modifyitems(items):
+    # this hook receives *every* collected item (a conftest hook is global
+    # once registered), so restrict the marker to this directory — without
+    # the guard, a repo-root `pytest -m "not slow"` deselects the whole
+    # test suite too
     for item in items:
-        item.add_marker(pytest.mark.slow)
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)

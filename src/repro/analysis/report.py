@@ -8,7 +8,7 @@ examples use it; it is also handy in a REPL while exploring scenarios.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 __all__ = ["summarize_farm"]
 

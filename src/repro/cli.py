@@ -19,6 +19,16 @@ worker processes, ``--replicates N`` averages N independently-seeded runs
 per point (tables gain ``*_sd`` confidence columns), and ``--cache``
 replays unchanged points from the on-disk result cache. Results are
 byte-identical for every ``--jobs`` value.
+
+Every subcommand also accepts ``--metrics-out PATH``: farm commands export
+the simulator's :mod:`repro.metrics` registry (sampled every 5 simulated
+seconds), sweep commands export the fabric's accounting registry. The
+format follows the suffix (``.jsonl`` / ``.csv`` / ``.prom``); the
+``metrics`` subcommand prints one export or diffs two::
+
+    gulfstream-sim fig5 --nodes 4 --metrics-out m.jsonl
+    gulfstream-sim metrics m.jsonl
+    gulfstream-sim metrics before.jsonl after.jsonl --tolerance 0.05
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ def _csv_floats(text: str) -> List[float]:
     return [float(x) for x in text.split(",") if x]
 
 
-def _sweep_options(args, experiment: str) -> dict:
+def _sweep_options(args, experiment: str, metrics=None) -> dict:
     """The ``run_grid`` pass-through options shared by sweep commands."""
     cache = None
     if getattr(args, "cache", False):
@@ -55,7 +65,46 @@ def _sweep_options(args, experiment: str) -> dict:
         seed_arg="seed",
         base_seed=args.seed,
         cache=cache,
+        metrics=metrics,
     )
+
+
+def _sweep_registry(args):
+    """A standalone registry for sweep commands (only when requested).
+
+    Sweeps run outside any simulator, so the registry keeps its default
+    sample-index clock; :func:`repro.runner.run_sweep` records a sample
+    when each sweep finishes.
+    """
+    if not getattr(args, "metrics_out", None):
+        return None
+    from repro.metrics import MetricsRegistry
+
+    return MetricsRegistry()
+
+
+def _attach_sampler(args, farm) -> None:
+    """Sample the farm simulator's registry every 5 simulated seconds.
+
+    Only installed when ``--metrics-out`` was given: the sampler's timer
+    events are inert but still count into ``events_executed``, so it must
+    stay out of runs that golden-trace determinism tests fingerprint.
+    """
+    if getattr(args, "metrics_out", None):
+        from repro.metrics import PeriodicSampler
+
+        PeriodicSampler(farm.sim, interval=5.0)
+
+
+def _export_metrics(args, registry) -> None:
+    """Write ``registry`` to ``--metrics-out`` (no-op when flag unset)."""
+    if registry is None or not getattr(args, "metrics_out", None):
+        return
+    from repro.metrics import write_metrics
+
+    registry.sample()  # final state, whatever the sampling cadence was
+    out = write_metrics(registry, args.metrics_out)
+    print(f"metrics written to {out}", file=sys.stderr)
 
 
 def _with_sd(columns: List[str], replicates: int, over: List[str]) -> List[str]:
@@ -113,11 +162,12 @@ def _detector_point(scheme: str, members: int, seed: int) -> dict:
 # ----------------------------------------------------------------------
 def cmd_discover(args) -> int:
     if args.replicates > 1:
+        registry = _sweep_registry(args)
         rows = run_grid(
             _discover_point, {},
             fixed={"nodes": args.nodes, "beacon": args.beacon,
                    "adapters": args.adapters, "timeout": args.timeout},
-            **_sweep_options(args, "cli.discover"),
+            **_sweep_options(args, "cli.discover", metrics=registry),
         )
         print(format_table(
             rows,
@@ -126,14 +176,17 @@ def cmd_discover(args) -> int:
             title=f"discovery over {args.replicates} independently-seeded runs "
                   f"({args.nodes} nodes)",
         ))
+        _export_metrics(args, registry)
         return 0
     params = GSParams(beacon_duration=args.beacon)
     from repro.farm import build_testbed
 
     farm = build_testbed(args.nodes, seed=args.seed, params=params,
                          adapters_per_node=args.adapters)
+    _attach_sampler(args, farm)
     farm.start()
     stable = farm.run_until_stable(timeout=args.timeout)
+    _export_metrics(args, farm.sim.metrics)
     if stable is None:
         print(f"discovery did not stabilize within {args.timeout}s", file=sys.stderr)
         return 1
@@ -145,10 +198,11 @@ def cmd_discover(args) -> int:
 
 
 def cmd_fig5(args) -> int:
+    registry = _sweep_registry(args)
     rows = run_grid(
         _fig5_point,
         {"T_beacon": args.beacon_times, "nodes": args.nodes},
-        **_sweep_options(args, "cli.fig5"),
+        **_sweep_options(args, "cli.fig5", metrics=registry),
     )
     print(format_table(
         rows,
@@ -156,6 +210,7 @@ def cmd_fig5(args) -> int:
                          args.replicates, over=["stable_s", "delta_s"]),
         title="Figure 5 — time for all groups to become stable",
     ))
+    _export_metrics(args, registry)
     return 0
 
 
@@ -171,6 +226,7 @@ def cmd_storm(args) -> int:
     for i in range(args.nodes):
         b.add_node(f"node-{i}", [1, 2], admin_eligible=(i < 2))
     farm = b.finish()
+    _attach_sampler(args, farm)
     farm.start()
     stable = farm.run_until_stable(timeout=120.0)
     if stable is None:
@@ -184,6 +240,7 @@ def cmd_storm(args) -> int:
         if h.crashed:
             h.restart()
     farm.sim.run(until=farm.sim.now + 60.0)
+    _export_metrics(args, farm.sim.metrics)
     print(f"churn: {inj.crashes} crashes / {inj.repairs} repairs in "
           f"{args.duration:.0f}s")
     print(f"notifications: {farm.bus.count('node_failed')} node_failed, "
@@ -205,6 +262,7 @@ def cmd_move(args) -> int:
     for i in range(args.domain_size):
         b.add_node(f"b-{i}", [1, 3])
     farm = b.finish()
+    _attach_sampler(args, farm)
     farm.start()
     farm.run_until_stable(timeout=120.0)
     mover = farm.hosts["a-1"].adapters[1]
@@ -219,16 +277,18 @@ def cmd_move(args) -> int:
     print(f"final view: {proto.view}")
     print(f"failure notifications: {farm.bus.count('adapter_failed')} "
           "(expected moves are suppressed)")
+    _export_metrics(args, farm.sim.metrics)
     return 0
 
 
 def cmd_detectors(args) -> int:
+    registry = _sweep_registry(args)
     rows = run_grid(
         _detector_point,
         {"scheme": ["ring (GulfStream)", "all-pairs (HACMP)",
                     "random ping [9]", "central poll"]},
         fixed={"members": args.members},
-        **_sweep_options(args, "cli.detectors"),
+        **_sweep_options(args, "cli.detectors", metrics=registry),
     )
     print(format_table(
         rows,
@@ -236,6 +296,7 @@ def cmd_detectors(args) -> int:
                          args.replicates, over=["frames_per_sec", "detect_s"]),
         title=f"failure detectors, {args.members} members",
     ))
+    _export_metrics(args, registry)
     return 0
 
 
@@ -251,6 +312,7 @@ def cmd_serve(args) -> int:
                     management_nodes=1, spare_nodes=1)
     farm = build_farm(spec, seed=args.seed, params=params, os_params=OSParams.fast())
     dispatcher = deploy_domain_service(farm, "acme", rate=args.rate)
+    _attach_sampler(args, farm)
     farm.start()
     farm.run_until_stable(timeout=120.0)
     dispatcher.start()
@@ -271,7 +333,54 @@ def cmd_serve(args) -> int:
     print(f"success rate={s.success_rate:.4f}  p50 latency="
           f"{(p50 or 0) * 1000:.1f}ms")
     print(f"failures in the 30s event window: {s.failures_in(t0, t0 + 30.0)}")
+    _export_metrics(args, farm.sim.metrics)
     return 0
+
+
+def cmd_metrics(args) -> int:
+    from repro.metrics import diff_metrics, read_final
+
+    if len(args.exports) > 2:
+        print("metrics takes one export (print) or two (diff)", file=sys.stderr)
+        return 2
+    old = read_final(args.exports[0])
+    if len(args.exports) == 1:
+        rows = []
+        for key in sorted(old):
+            fields = old[key]
+            for field in sorted(fields):
+                if field == "type":
+                    continue
+                rows.append({"metric": key, "type": fields["type"],
+                             "field": field, "value": fields[field]})
+        print(format_table(
+            rows, columns=["metric", "type", "field", "value"], floatfmt=".6g",
+            title=f"final sample — {args.exports[0]}",
+        ))
+        return 0
+    new = read_final(args.exports[1])
+    diffs = diff_metrics(old, new, tolerance=args.tolerance)
+    if not diffs:
+        print(f"no metric field differs by more than {args.tolerance:.1%} "
+              f"({len(set(old) | set(new))} metrics compared)")
+        return 0
+    rows = []
+    for d in diffs:
+        if d.old is None:
+            change = "appeared"
+        elif d.new is None:
+            change = "disappeared"
+        else:
+            change = f"{d.rel_change:+.1%}" if d.rel_change != float("inf") else "from zero"
+        rows.append({"metric": d.key, "field": d.field,
+                     "old": "-" if d.old is None else d.old,
+                     "new": "-" if d.new is None else d.new,
+                     "change": change})
+    print(format_table(
+        rows, columns=["metric", "field", "old", "new", "change"], floatfmt=".6g",
+        title=f"{len(diffs)} metric field(s) beyond tolerance {args.tolerance:.1%}",
+    ))
+    return 1
 
 
 # ----------------------------------------------------------------------
@@ -292,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", action="store_true",
         help="replay unchanged sweep points from the on-disk result cache "
              "($GULFSTREAM_CACHE_DIR, default ~/.cache/gulfstream-sim)")
+    common.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="export the run's metrics registry; format follows the suffix "
+             "(.jsonl time-series, .csv flat, .prom Prometheus text)")
     parser = argparse.ArgumentParser(
         prog="gulfstream-sim",
         description="GulfStream (CLUSTER 2001) reproduction — scenario runner",
@@ -330,12 +443,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=100.0)
     p.add_argument("--event", choices=["none", "crash", "move"], default="crash")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("metrics", help="print one metrics export, or diff two",
+                       parents=[common])
+    p.add_argument("exports", nargs="+", metavar="EXPORT",
+                   help="one export path to print, or two to diff (old new)")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative change below this is not a diff (e.g. 0.05)")
+    p.set_defaults(fn=cmd_metrics)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. `gulfstream-sim metrics x.jsonl | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

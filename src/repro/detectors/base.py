@@ -15,7 +15,7 @@ trade-off study of §3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
 from repro.net.addressing import IPAddress

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.net.addressing import IPAddress
-from repro.detectors.base import DetectorHarness, DetectorMember, DetectorParams
+from repro.detectors.base import DetectorMember
 from repro.sim.process import Timer
 
 __all__ = ["RingDetector", "RingHb"]

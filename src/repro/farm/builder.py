@@ -24,7 +24,6 @@ from repro.farm.domain import (
     ADMIN_VLAN,
     DISPATCH_VLAN,
     DOMAIN_VLAN_BASE,
-    DomainSpec,
     FarmSpec,
 )
 from repro.sim.engine import Simulator

@@ -16,7 +16,7 @@ through :class:`~repro.gulfstream.reconfig.ReconfigurationManager`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.farm.builder import FREE_POOL_VLAN, Farm

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field as dc_field
 from typing import Any, Dict, Optional, Set, TYPE_CHECKING
 
 from repro.net.addressing import IPAddress
-from repro.gulfstream.amg import AMGView, choose_leader, rank_members
+from repro.gulfstream.amg import AMGView, choose_leader
 from repro.gulfstream.heartbeat import RingHeartbeat
 from repro.gulfstream.messages import (
     Beacon,
@@ -125,6 +125,9 @@ class AdapterProtocol:
         self._report_retry = None
         self._last_reported: Optional[Set[IPAddress]] = None
         self._removed_since_report: Set[IPAddress] = set()
+        # metrics plane: farm-wide discovery-traffic counters (§4.1 —
+        # beacon load is the other half of the Figure 5 trade-off)
+        self._m_beacons = self.sim.metrics.counter("gs.beacon.sent")
 
     # ------------------------------------------------------------------
     # identity & plumbing
@@ -216,6 +219,7 @@ class AdapterProtocol:
             )
         else:
             return
+        self._m_beacons.inc()
         self.nic.multicast(msg, size=self.params.size_beacon)
 
     def _end_beacon_phase(self) -> None:

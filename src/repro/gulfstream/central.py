@@ -102,6 +102,26 @@ class GulfStreamCentral:
         # accounting for the SCALE-GSC bench
         self.reports_received = 0
         self.reports_bytes = 0
+        # metrics plane: counters are farm-wide cumulative (shared across
+        # GSC failovers — a new leader's instance resolves the same
+        # instruments); the gauges describe the authoritative table and
+        # are collected only from the *active* instance
+        reg = self.sim.metrics
+        self._m_reports = reg.counter("gsc.reports")
+        self._m_report_bytes = reg.counter("gsc.report_bytes")
+        self._m_member_adds = reg.counter("gsc.member_adds")
+        self._m_member_removes = reg.counter("gsc.member_removes")
+        self._m_moves = reg.counter("gsc.moves_detected")
+        self._m_adapters_up = reg.gauge("gsc.adapters_up")
+        self._m_groups = reg.gauge("gsc.groups")
+        self._m_stable_time = reg.gauge("gsc.stable_time_s")
+        reg.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        if not self.active:
+            return
+        self._m_adapters_up.set(sum(1 for rec in self.adapters.values() if rec.up))
+        self._m_groups.set(len(self.groups))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,6 +167,7 @@ class GulfStreamCentral:
             self._restart_quiet_timer()
             return
         self.stable_time = self.sim.now
+        self._m_stable_time.set(self.stable_time)
         self.sim.trace.emit(
             self.sim.now, "gsc.stable", self.daemon.host.name,
             adapters=len(self.adapters), groups=len(self.groups),
@@ -166,9 +187,12 @@ class GulfStreamCentral:
         if not self.active:
             return
         self.reports_received += 1
-        self.reports_bytes += self.params.membership_msg_size(
+        report_bytes = self.params.membership_msg_size(
             len(report.members) + len(report.added) + len(report.removed)
         )
+        self.reports_bytes += report_bytes
+        self._m_reports.inc()
+        self._m_report_bytes.inc(report_bytes)
         now = self.sim.now
         self.sim.trace.emit(
             now, "gsc.report", self.daemon.host.name,
@@ -192,6 +216,10 @@ class GulfStreamCentral:
             added = list(report.added)
             removed = set(report.removed)
 
+        # membership delta size, as seen by GSC (the paper's "only changes
+        # are reported" claim is the flatness of this counter at steady state)
+        self._m_member_adds.inc(len(added))
+        self._m_member_removes.inc(len(removed))
         for ip in removed:
             self._adapter_removed(ip, report.group_key)
         for info in added:
@@ -318,6 +346,7 @@ class GulfStreamCentral:
         )
 
     def _complete_move(self, ip: IPAddress, old_group: str, new_group: str) -> None:
+        self._m_moves.inc()
         self._recent_move_done[ip] = self.sim.now
         move = self.expected_moves.pop(ip, None)
         if move is not None and move.deadline_event is not None:

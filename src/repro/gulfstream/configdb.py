@@ -25,7 +25,7 @@ are connected to routers and switches").
 from __future__ import annotations
 
 import json
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 

@@ -20,8 +20,7 @@ walk of the switches (the paper's future-work alternative, which
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, DefaultDict, Dict, Optional, Set
+from typing import Callable, Dict, Optional, Set
 
 from repro.net.addressing import IPAddress
 

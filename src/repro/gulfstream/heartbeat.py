@@ -94,23 +94,39 @@ class RingHeartbeat:
         # counters for load accounting
         self.sent = 0
         self.received = 0
+        # metrics plane: engines are per-view and short-lived, so the
+        # instruments are farm-wide cumulative counters resolved once here
+        # (the registry returns the same object for the same key)
+        reg = proto.sim.metrics
+        self._m_sent = reg.counter("gs.hb.sent")
+        self._m_received = reg.counter("gs.hb.received")
+        self._m_rounds = reg.counter("gs.hb.rounds")
+        self._m_suspects = reg.counter("gs.hb.suspects")
+        self._m_false = reg.counter("gs.hb.false_suspects")
+        self._m_silence = reg.counter("gs.hb.total_silence")
 
     # ------------------------------------------------------------------
     def _send(self) -> None:
         msg = Heartbeat(sender=self.proto.ip, epoch=self.view.epoch)
         send = self.proto.send
         size = self.proto.params.size_heartbeat
+        if self._send_targets:
+            self._m_rounds.inc()
         for ip in self._send_targets:
             send(ip, msg, size=size)
             self.sent += 1
+            self._m_sent.inc()
 
     def on_heartbeat(self, src: IPAddress, epoch: int) -> None:
         """Feed an incoming heartbeat (the protocol dispatches to us)."""
         if src in self.monitored:
             self.last_heard[src] = self.proto.sim.now
-            self._suspect_raised_at.pop(src, None)
+            if self._suspect_raised_at.pop(src, None) is not None:
+                # the suspect spoke again: that suspicion was false
+                self._m_false.inc()
             self._silence_raised_at = None
             self.received += 1
+            self._m_received.inc()
 
     def _check(self) -> None:
         p = self.proto.params
@@ -124,6 +140,7 @@ class RingHeartbeat:
             raised = self._suspect_raised_at.get(ip)
             if raised is None or now - raised >= resuspect_after:
                 self._suspect_raised_at[ip] = now
+                self._m_suspects.inc()
                 self.proto.trace("gs.hb.suspect", neighbor=str(ip), silent=round(silent_for, 3))
                 self.on_suspect(ip)
         if self.monitored and all(
@@ -137,6 +154,7 @@ class RingHeartbeat:
                 or now - self._silence_raised_at >= p.orphan_timeout
             ):
                 self._silence_raised_at = now
+                self._m_silence.inc()
                 self.on_total_silence()
 
     def stop(self) -> None:

@@ -13,7 +13,7 @@ to GulfStream Central).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.net.addressing import IPAddress
 

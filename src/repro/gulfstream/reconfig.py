@@ -16,7 +16,7 @@ the addition into a single move event.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable
 
 from repro.net.addressing import IPAddress
 from repro.gulfstream.central import GulfStreamCentral

@@ -20,7 +20,7 @@ the sender's serialized OS handling plus one frame per member per phase.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, TYPE_CHECKING
 
 from repro.net.addressing import IPAddress
 from repro.gulfstream.amg import AMGView, rank_members

@@ -1,0 +1,57 @@
+"""``repro.metrics`` — the simulation-wide metrics plane.
+
+* :mod:`repro.metrics.core` — :class:`MetricsRegistry` with typed
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` instruments,
+  pull-collectors, simulated-time sampling, and replicate merging.
+* :mod:`repro.metrics.export` — JSONL time-series, flat CSV, and
+  Prometheus text exporters, plus readers and :func:`diff_metrics`.
+* :mod:`repro.metrics.sampling` — :class:`PeriodicSampler`, snapshots on
+  the simulator's own event queue.
+
+Every :class:`~repro.sim.engine.Simulator` owns a registry (``sim.metrics``)
+next to its trace; subsystems instrument themselves at construction. See
+docs/METRICS.md for the registry API, exporter formats, and the CI gates
+built on top.
+"""
+
+from repro.metrics.core import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metric,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.metrics.export import (
+    EXPORT_SCHEMA,
+    MetricDiff,
+    diff_metrics,
+    prometheus_text,
+    read_final,
+    write_csv,
+    write_jsonl,
+    write_metrics,
+    write_prometheus,
+)
+from repro.metrics.sampling import PeriodicSampler
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EXPORT_SCHEMA",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricDiff",
+    "MetricsRegistry",
+    "PeriodicSampler",
+    "diff_metrics",
+    "metric_key",
+    "prometheus_text",
+    "read_final",
+    "write_csv",
+    "write_jsonl",
+    "write_metrics",
+    "write_prometheus",
+]

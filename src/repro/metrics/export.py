@@ -1,0 +1,289 @@
+"""Metric exporters: JSONL time-series, flat CSV, Prometheus text, and diff.
+
+Three formats cover the three consumers:
+
+* **JSONL** (``.jsonl``) — the machine-readable time-series. One header
+  line, then one JSON object per (sample, metric). The format the
+  ``--metrics-out`` CLI flag writes by default and the ``metrics``
+  subcommand diffs.
+* **CSV** (``.csv``) — the same rows flattened for spreadsheets: one row
+  per (sample, metric, field), histogram summaries expanded into
+  ``count``/``sum``/``p50``/``p95``/``p99`` rows.
+* **Prometheus text** (``.prom`` / ``.txt``) — the *final* snapshot in the
+  exposition format, so a scraper-shaped toolchain (promtool, Grafana
+  agent) can ingest a finished run.
+
+Readers parse JSONL and CSV back into a final-values mapping;
+:func:`diff_metrics` compares two such mappings with a relative tolerance —
+the engine under ``gulfstream-sim metrics A B``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.metrics.core import Histogram, MetricsRegistry
+
+__all__ = [
+    "EXPORT_SCHEMA",
+    "MetricDiff",
+    "diff_metrics",
+    "prometheus_text",
+    "read_final",
+    "write_csv",
+    "write_jsonl",
+    "write_metrics",
+    "write_prometheus",
+]
+
+#: schema version stamped on JSONL exports
+EXPORT_SCHEMA = 1
+
+PathLike = Union[str, pathlib.Path]
+
+#: scalar fields exported per histogram (bucket detail stays in JSONL only)
+_HIST_FIELDS = ("count", "sum", "mean", "min", "max", "p50", "p95", "p99")
+
+
+def _series(registry: MetricsRegistry) -> List[Tuple[float, Dict[str, Dict[str, Any]]]]:
+    """The registry's samples, guaranteeing at least one (taken now)."""
+    if not registry.samples:
+        registry.sample()
+    return registry.samples
+
+
+# ----------------------------------------------------------------------
+# writers
+# ----------------------------------------------------------------------
+def write_jsonl(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    """Write the full time-series as JSON Lines. Returns the path."""
+    path = pathlib.Path(path)
+    lines = [json.dumps({"kind": "meta", "schema": EXPORT_SCHEMA})]
+    for t, snap in _series(registry):
+        for key, value in sorted(snap.items()):
+            metric = registry.get(key)
+            record: Dict[str, Any] = {
+                "kind": "sample",
+                "t": t,
+                "name": metric.name if metric is not None else key,
+                "labels": dict(metric.labels) if metric is not None else {},
+                "type": metric.kind if metric is not None else "gauge",
+            }
+            record.update(value)
+            lines.append(json.dumps(record, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def write_csv(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    """Write the time-series as flat CSV rows. Returns the path."""
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["t", "metric", "type", "field", "value"])
+        for t, snap in _series(registry):
+            for key, value in sorted(snap.items()):
+                metric = registry.get(key)
+                kind = metric.kind if metric is not None else "gauge"
+                if kind == "histogram":
+                    for field in _HIST_FIELDS:
+                        writer.writerow([t, key, kind, field, value[field]])
+                else:
+                    writer.writerow([t, key, kind, "value", value["value"]])
+    return path
+
+
+def _prom_name(key_name: str) -> str:
+    """Dotted metric names become Prometheus-legal underscore names."""
+    return key_name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return f"{{{inner}}}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The final snapshot in the Prometheus exposition format."""
+    registry.collect()
+    out: List[str] = []
+    seen_types: set[str] = set()
+    for metric in registry:
+        name = _prom_name(metric.name)
+        labels = dict(metric.labels)
+        if name not in seen_types:
+            seen_types.add(name)
+            out.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                out.append(f"{name}_bucket{_prom_labels(labels, {'le': repr(bound)})} {cumulative}")
+            out.append(f"{name}_bucket{_prom_labels(labels, {'le': '+Inf'})} {metric.count}")
+            out.append(f"{name}_sum{_prom_labels(labels)} {metric.sum}")
+            out.append(f"{name}_count{_prom_labels(labels)} {metric.count}")
+        else:
+            out.append(f"{name}{_prom_labels(labels)} {metric.value_dict()['value']}")
+    return "\n".join(out) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+def write_metrics(registry: MetricsRegistry, path: PathLike) -> pathlib.Path:
+    """Write ``registry`` to ``path``, format chosen by file suffix.
+
+    ``.csv`` writes CSV, ``.prom``/``.txt`` write Prometheus text, and
+    anything else (canonically ``.jsonl``) writes JSONL.
+    """
+    suffix = pathlib.Path(path).suffix.lower()
+    if suffix == ".csv":
+        return write_csv(registry, path)
+    if suffix in (".prom", ".txt"):
+        return write_prometheus(registry, path)
+    return write_jsonl(registry, path)
+
+
+# ----------------------------------------------------------------------
+# readers
+# ----------------------------------------------------------------------
+def read_final(path: PathLike) -> Dict[str, Dict[str, Any]]:
+    """Final (last-sample) values per metric key from a JSONL or CSV export.
+
+    Returns ``{key: {"type": ..., <value fields>}}`` — scalar metrics carry
+    ``value``; histograms carry their summary fields.
+    """
+    path = pathlib.Path(path)
+    if path.suffix.lower() == ".csv":
+        return _read_final_csv(path)
+    return _read_final_jsonl(path)
+
+
+def _read_final_jsonl(path: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+    from repro.metrics.core import metric_key
+
+    final: Dict[str, Dict[str, Any]] = {}
+    last_t: Dict[str, float] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "meta":
+            if record.get("schema") != EXPORT_SCHEMA:
+                raise ValueError(
+                    f"{path}: unsupported metrics export schema {record.get('schema')!r}"
+                )
+            continue
+        if record.get("kind") != "sample":
+            continue
+        labels = tuple(sorted((k, str(v)) for k, v in record.get("labels", {}).items()))
+        key = metric_key(record["name"], labels)
+        t = float(record.get("t", 0.0))
+        if key in last_t and t < last_t[key]:
+            continue
+        last_t[key] = t
+        fields = {
+            k: v
+            for k, v in record.items()
+            if k not in ("kind", "t", "name", "labels", "type", "buckets")
+        }
+        fields["type"] = record.get("type", "gauge")
+        final[key] = fields
+    return final
+
+
+def _read_final_csv(path: pathlib.Path) -> Dict[str, Dict[str, Any]]:
+    final: Dict[str, Dict[str, Any]] = {}
+    last_t: Dict[str, float] = {}
+    with path.open(newline="") as fh:
+        for row in csv.DictReader(fh):
+            key = row["metric"]
+            t = float(row["t"])
+            if key in last_t and t < last_t[key]:
+                continue
+            if last_t.get(key) != t:
+                final[key] = {"type": row["type"]}
+            last_t[key] = t
+            try:
+                value: Any = json.loads(row["value"])
+            except ValueError:
+                value = row["value"]
+            final[key][row["field"]] = value
+    return final
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricDiff:
+    """One changed value between two exports."""
+
+    key: str
+    field: str
+    old: Optional[float]
+    new: Optional[float]
+
+    @property
+    def rel_change(self) -> float:
+        """Relative change; infinite for appear/disappear or zero baselines."""
+        if self.old is None or self.new is None:
+            return float("inf")
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / abs(self.old)
+
+
+def diff_metrics(
+    old: Dict[str, Dict[str, Any]],
+    new: Dict[str, Dict[str, Any]],
+    tolerance: float = 0.0,
+) -> List[MetricDiff]:
+    """Numeric fields whose relative change exceeds ``tolerance``.
+
+    Metrics present on only one side always count as a diff. Non-numeric
+    fields (and the ``type`` tag) are ignored.
+    """
+    diffs: List[MetricDiff] = []
+    for key in sorted(set(old) | set(new)):
+        a, b = old.get(key), new.get(key)
+        if a is None or b is None:
+            present = a if a is not None else b
+            assert present is not None
+            for field, value in sorted(present.items()):
+                if field == "type" or not isinstance(value, (int, float)):
+                    continue
+                diffs.append(
+                    MetricDiff(
+                        key,
+                        field,
+                        float(value) if a is not None else None,
+                        float(value) if b is not None else None,
+                    )
+                )
+            continue
+        for field in sorted(set(a) | set(b)):
+            if field == "type":
+                continue
+            va, vb = a.get(field), b.get(field)
+            if not isinstance(va, (int, float)) or not isinstance(vb, (int, float)):
+                continue
+            entry = MetricDiff(key, field, float(va), float(vb))
+            if va == vb:
+                continue
+            if abs(entry.rel_change) > tolerance:
+                diffs.append(entry)
+    return diffs

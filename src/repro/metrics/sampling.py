@@ -1,0 +1,41 @@
+"""Periodic sampling of a simulator's registry, in simulated time.
+
+The registry records a time-series only when someone calls ``sample()``.
+For interactive runs (the ``--metrics-out`` CLI flag) a
+:class:`PeriodicSampler` schedules itself on the simulator's own event
+queue, so snapshots land every ``interval`` *simulated* seconds and the
+exported series aligns with the trace. The sampler is deliberately not
+installed by default: its events are inert but they do appear in
+``events_executed``, and determinism baselines (golden traces, golden
+metrics) must not depend on whether an export was requested.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.sim.engine import Event, Simulator
+
+__all__ = ["PeriodicSampler"]
+
+
+class PeriodicSampler:
+    """Samples ``sim.metrics`` every ``interval`` simulated seconds."""
+
+    def __init__(self, sim: "Simulator", interval: float = 5.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self.sim = sim
+        self.interval = interval
+        self._event: Optional["Event"] = sim.schedule(interval, self._tick)
+
+    def _tick(self) -> None:
+        self.sim.metrics.sample()
+        self._event = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Cancel future samples (the last recorded ones are kept)."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None

@@ -37,6 +37,32 @@ class Fabric:
         #: quality model handed to newly created segments
         self.default_quality = default_quality
         self._reach_cache: Optional[Dict[str, int]] = None
+        # farm-wide adapter totals, pulled from the per-NIC tallies only
+        # when a metrics sample/export is taken (segments register their
+        # own per-VLAN collectors)
+        reg = sim.metrics
+        self._m_nic_sent = reg.counter("net.nic.frames_sent")
+        self._m_nic_received = reg.counter("net.nic.frames_received")
+        self._m_nic_send_drops = reg.counter("net.nic.send_drops")
+        self._m_nic_recv_drops = reg.counter("net.nic.recv_drops")
+        self._m_nic_attached = reg.gauge("net.nic.attached")
+        # totals carried by adapters that were later detached — keeps the
+        # farm-wide counters monotonic across reconfiguration
+        self._detached_totals = [0, 0, 0, 0]
+        reg.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        sent, received, send_drops, recv_drops = self._detached_totals
+        for nic in self.nics.values():
+            sent += nic.sent
+            received += nic.received
+            send_drops += nic.send_drops
+            recv_drops += nic.recv_drops
+        self._m_nic_sent.set_total(sent)
+        self._m_nic_received.set_total(received)
+        self._m_nic_send_drops.set_total(send_drops)
+        self._m_nic_recv_drops.set_total(recv_drops)
+        self._m_nic_attached.set(len(self.nics))
 
     # ------------------------------------------------------------------
     # construction
@@ -139,6 +165,12 @@ class Fabric:
 
     def detach(self, nic: NIC) -> None:
         """Remove an adapter from the fabric entirely."""
+        if self.nics.get(nic.ip) is nic:
+            totals = self._detached_totals
+            totals[0] += nic.sent
+            totals[1] += nic.received
+            totals[2] += nic.send_drops
+            totals[3] += nic.recv_drops
         if nic.port is not None:
             if nic.port.vlan is not None and nic.port.vlan in self.segments:
                 self.segments[nic.port.vlan].leave(nic)

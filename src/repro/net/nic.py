@@ -70,6 +70,11 @@ class NIC:
         # traffic counters (frames, not bytes)
         self.sent = 0
         self.received = 0
+        #: frames refused because this adapter could not transmit / receive
+        #: (FAIL_SEND / FAIL_RECV / FAIL_FULL / DISABLED states); aggregated
+        #: farm-wide by the fabric's metrics collector
+        self.send_drops = 0
+        self.recv_drops = 0
 
     # ------------------------------------------------------------------
     # state management
@@ -132,6 +137,7 @@ class NIC:
         if self.fabric is None or self.port is None:
             raise RuntimeError(f"{self.name} is not attached to a fabric")
         if not self.can_send:
+            self.send_drops += 1
             self.fabric.sim.trace.emit(
                 self.fabric.sim.now, "net.drop.sender", self.name, state=self.state.value
             )
@@ -142,6 +148,7 @@ class NIC:
     def deliver(self, frame: Frame) -> None:
         """Called by the fabric when a frame arrives (post-latency)."""
         if not self.can_receive:
+            self.recv_drops += 1
             if self.fabric is not None:
                 self.fabric.sim.trace.emit(
                     self.fabric.sim.now, "net.drop.receiver", self.name, state=self.state.value

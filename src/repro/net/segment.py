@@ -64,6 +64,31 @@ class Segment:
         self.frames_delivered = 0
         self.frames_lost = 0
         self.bytes_sent = 0
+        #: frames lost per cause: the quality model, a dead switch, or a
+        #: dead trunk router (three distinct failure classes in §3)
+        self.drop_causes: Dict[str, int] = {"loss": 0, "switch": 0, "router": 0}
+        # metrics plane: the delivery path only bumps the plain-int tallies
+        # above; this pull-collector copies them into per-VLAN instruments
+        # when a sample or export is taken
+        reg = fabric.sim.metrics
+        vl = str(vlan)
+        self._m_sent = reg.counter("net.segment.frames_sent", vlan=vl)
+        self._m_delivered = reg.counter("net.segment.frames_delivered", vlan=vl)
+        self._m_bytes = reg.counter("net.segment.bytes_sent", vlan=vl)
+        self._m_drops = {
+            cause: reg.counter("net.segment.frames_dropped", vlan=vl, cause=cause)
+            for cause in self.drop_causes
+        }
+        self._m_members = reg.gauge("net.segment.members", vlan=vl)
+        reg.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        self._m_sent.set_total(self.frames_sent)
+        self._m_delivered.set_total(self.frames_delivered)
+        self._m_bytes.set_total(self.bytes_sent)
+        for cause, count in self.drop_causes.items():
+            self._m_drops[cause].set_total(count)
+        self._m_members.set(len(self.members))
 
     @property
     def name(self) -> str:
@@ -172,6 +197,7 @@ class Segment:
                 continue
             if nic.port is not None and nic.port.switch.failed:
                 self.frames_lost += 1
+                self.drop_causes["switch"] += 1
                 trace_emit(now, "net.drop.switch", nic.name, switch=nic.port.switch.name)
                 continue
             if (
@@ -183,6 +209,7 @@ class Segment:
                 # third component class); the VLAN is partitioned along
                 # switch boundaries
                 self.frames_lost += 1
+                self.drop_causes["router"] += 1
                 trace_emit(now, "net.drop.router", nic.name,
                            from_switch=sender_switch, to_switch=nic.port.switch.name)
                 continue
@@ -199,6 +226,7 @@ class Segment:
             delivered, latency = self.quality.sample(rng, load)
             if not delivered:
                 self.frames_lost += 1
+                self.drop_causes["loss"] += 1
                 trace_emit(now, "net.drop.loss", nic.name, vlan=self.vlan)
                 return True
             self.frames_delivered += 1
@@ -211,6 +239,7 @@ class Segment:
         for i, nic in enumerate(eligible):
             if delivered is not None and not delivered[i]:
                 self.frames_lost += 1
+                self.drop_causes["loss"] += 1
                 trace_emit(now, "net.drop.loss", nic.name, vlan=self.vlan)
                 continue
             self.frames_delivered += 1

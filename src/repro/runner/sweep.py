@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import itertools
 import statistics
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.metrics.core import MetricsRegistry
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.pool import ParallelRunner
 from repro.runner.seeding import task_seed
@@ -68,16 +70,25 @@ def run_sweep(
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
     chunk_size: Optional[int] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[Dict]:
     """Evaluate ``fn(**point, **fixed)`` over the cartesian grid.
 
     Rows come back in grid order (last key varies fastest), each the
     grid point merged with the task's result mapping — aggregated over
     ``replicates`` runs when that is > 1.
+
+    With a ``metrics`` registry, the sweep accounts for itself there:
+    ``runner.sweep.tasks`` / ``dispatched`` / ``cache_hits`` /
+    ``cache_misses`` counters, a ``runner.sweep.jobs`` gauge, and a
+    ``runner.sweep.wall_clock_s`` histogram of per-sweep wall time (the
+    one legitimately *wall*-clocked metric in the registry — sweeps run
+    outside any simulator). A sample is recorded when the sweep finishes.
     """
     fixed = fixed or {}
     if replicates < 1:
         raise ValueError(f"replicates must be >= 1, got {replicates}")
+    wall_t0 = time.perf_counter()
     if experiment is None:
         experiment = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
 
@@ -124,4 +135,19 @@ def run_sweep(
         else:
             row = aggregate_replicates(point, group)
         rows.append(row)
+
+    if metrics is not None:
+        metrics.counter("runner.sweep.sweeps").inc()
+        metrics.counter("runner.sweep.grid_points").inc(len(points))
+        metrics.counter("runner.sweep.tasks").inc(len(task_kwargs))
+        metrics.counter("runner.sweep.dispatched").inc(len(to_run))
+        if cache is not None:
+            metrics.counter("runner.sweep.cache_hits").inc(len(task_kwargs) - len(to_run))
+            metrics.counter("runner.sweep.cache_misses").inc(len(to_run))
+        metrics.gauge("runner.sweep.jobs").set(jobs)
+        metrics.gauge("runner.sweep.replicates").set(replicates)
+        metrics.histogram("runner.sweep.wall_clock_s").observe(
+            time.perf_counter() - wall_t0
+        )
+        metrics.sample()
     return rows

@@ -32,6 +32,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
+from repro.metrics.core import MetricsRegistry
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Trace
 
@@ -84,6 +85,7 @@ class Event:
         if sim is not None:
             sim._live -= 1
             sim._dead += 1
+            sim.events_cancelled += 1
 
     @property
     def pending(self) -> bool:
@@ -114,9 +116,20 @@ class Simulator:
     trace:
         Optional pre-built trace (e.g. with category filters); a fresh
         all-enabled :class:`~repro.sim.trace.Trace` is created otherwise.
+    metrics:
+        Optional pre-built :class:`~repro.metrics.core.MetricsRegistry`;
+        a fresh one clocked on this simulator's ``now`` is created
+        otherwise. The engine registers a pull-collector for its own
+        counters (events dispatched/cancelled, queue depth), so the hot
+        loop never touches a metric instrument.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Trace] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.now: float = 0.0
         # heap of (time, priority, seq, Event); seq is unique so tuple
         # comparison is total and never falls through to Event.__lt__
@@ -133,6 +146,14 @@ class Simulator:
         #: number of events executed so far (monotonic; updated when
         #: :meth:`run` returns, not per event — read it between runs)
         self.events_executed: int = 0
+        #: number of events cancelled so far (monotonic, exact)
+        self.events_cancelled: int = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry(clock=lambda: self.now)
+        self._m_dispatched = self.metrics.counter("sim.events.dispatched")
+        self._m_cancelled = self.metrics.counter("sim.events.cancelled")
+        self._m_depth = self.metrics.gauge("sim.queue.depth")
+        self._m_dead = self.metrics.gauge("sim.queue.dead")
+        self.metrics.register_collector(self._collect_metrics)
 
     # ------------------------------------------------------------------
     # scheduling
@@ -279,6 +300,19 @@ class Simulator:
         queue[:] = [entry for entry in queue if not entry[3].cancelled]
         heapq.heapify(queue)
         self._dead = 0
+
+    def _collect_metrics(self) -> None:
+        """Pull-collector: copy the engine tallies into the registry.
+
+        ``events_executed`` is batch-updated when :meth:`run` returns, so
+        a sample taken from *inside* a run (e.g. by a
+        :class:`~repro.metrics.sampling.PeriodicSampler`) reports the
+        count as of the run's start — exact again as soon as it ends.
+        """
+        self._m_dispatched.set_total(self.events_executed)
+        self._m_cancelled.set_total(self.events_cancelled)
+        self._m_depth.set(self._live)
+        self._m_dead.set(self._dead)
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still queued. O(1)."""

@@ -16,7 +16,6 @@ from repro.gulfstream.params import GSParams
 from repro.node.osmodel import OSParams
 from repro.sim.trace import Trace
 
-from tests.conftest import FAST
 
 
 SMALL = GSParams(beacon_duration=1.0, amg_stable_wait=1.0, gsc_stable_wait=2.0,

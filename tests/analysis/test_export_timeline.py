@@ -11,7 +11,7 @@ from repro.analysis.export import (
     trace_to_json,
     write_text,
 )
-from repro.analysis.timeline import DEFAULT_MARKS, render_timeline
+from repro.analysis.timeline import render_timeline
 from repro.net.addressing import IPAddress
 from repro.sim.trace import Trace
 
@@ -77,9 +77,9 @@ def test_timeline_renders_marks_and_legend():
     out = render_timeline(tr, 0.0, 10.0, width=20)
     lines = out.splitlines()
     assert lines[0].startswith("t(s)")
-    lane0 = next(l for l in lines if l.startswith("node-0/eth1"))
+    lane0 = next(line for line in lines if line.startswith("node-0/eth1"))
     assert "B" in lane0  # self_promote mark
-    lane1 = next(l for l in lines if l.startswith("node-1/eth1"))
+    lane1 = next(line for line in lines if line.startswith("node-1/eth1"))
     assert "M" in lane1 and "C" in lane1
     assert "legend:" in out
 
@@ -90,7 +90,7 @@ def test_timeline_source_filter_and_window():
     tr.emit(2.0, "gs.death", "b")
     tr.emit(99.0, "gs.death", "a")  # outside window
     out = render_timeline(tr, 0.0, 10.0, width=20, sources={"a"})
-    lanes = [l for l in out.splitlines() if l.startswith(("a", "b"))]
+    lanes = [line for line in out.splitlines() if line.startswith(("a", "b"))]
     assert len(lanes) == 1 and lanes[0].startswith("a")
     assert lanes[0].count("D") == 1  # the t=99 event is outside the window
 
@@ -125,7 +125,7 @@ def test_timeline_of_real_move_cascade():
     farm.sim.run(until=t0 + 30)
     # fine-grained window so consecutive cascade steps land in distinct cells
     out = render_timeline(farm.sim.trace, t0, t0 + 10, width=120)
-    mover_lane = next(l for l in out.splitlines() if l.startswith(mover.name))
+    mover_lane = next(line for line in out.splitlines() if line.startswith(mover.name))
     assert "S" in mover_lane  # suspected its unreachable partners
     # the unreachable-leader -> self-promote chain fires within one cell;
     # whichever of its marks won the cell, the cascade is visible

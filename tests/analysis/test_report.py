@@ -40,5 +40,6 @@ def test_recent_notes_limit():
     text = summarize_farm(farm, recent_notes=3)
     assert "Last 3 notifications" in text
     notes_section = text.split("Last 3 notifications")[1].split("Segment traffic")[0]
-    payload_lines = [l for l in notes_section.splitlines() if l.strip().startswith("[")]
+    payload_lines = [line for line in notes_section.splitlines()
+                     if line.strip().startswith("[")]
     assert len(payload_lines) == 3

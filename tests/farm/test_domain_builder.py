@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.farm.builder import FREE_POOL_VLAN, FarmBuilder, build_farm, build_testbed
+from repro.farm.builder import FREE_POOL_VLAN, build_farm, build_testbed
 from repro.farm.domain import ADMIN_VLAN, DISPATCH_VLAN, DomainSpec, FarmSpec
 
 from tests.conftest import FAST, run_stable

@@ -1,6 +1,5 @@
 """Scenario runner and the Océano controller."""
 
-import pytest
 
 from repro.farm.builder import build_farm, build_testbed, FREE_POOL_VLAN
 from repro.farm.domain import DomainSpec, FarmSpec
@@ -27,7 +26,7 @@ def test_scenario_runs_and_collects():
 
 def test_scenario_ambient_load_applied():
     farm = build_testbed(3, seed=2, params=HB)
-    result = Scenario(farm, duration=10.0, ambient_load={1: 500.0}).run()
+    Scenario(farm, duration=10.0, ambient_load={1: 500.0}).run()
     assert farm.fabric.segments[1].ambient_load == 500.0
 
 

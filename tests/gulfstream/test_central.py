@@ -3,7 +3,7 @@
 import pytest
 
 from repro.gulfstream.adapter_proto import AdapterState
-from repro.gulfstream.messages import MemberInfo, MembershipReport
+from repro.gulfstream.messages import MembershipReport
 from repro.net.addressing import IPAddress
 
 from tests.conftest import FAST, make_flat_farm, run_stable

@@ -4,7 +4,6 @@ These are integration tests over the real stack (fabric + daemons) with the
 ideal/fast OS model so timing assertions stay tight.
 """
 
-import pytest
 
 from repro.gulfstream.adapter_proto import AdapterState
 from repro.net.addressing import IPAddress
@@ -140,7 +139,6 @@ def test_post_formation_only_leader_beacons():
     farm = make_flat_farm(4, seed=9)
     run_stable(farm)
     sim = farm.sim
-    start = sim.trace.count("net.send")
     protos = states_on_vlan(farm, 2)
     members = [p for p in protos.values() if p.state is AdapterState.MEMBER]
     # members' beacon timers are gone

@@ -1,6 +1,5 @@
 """Failure detection (§3): crashes, failure modes, verification, takeover."""
 
-import pytest
 
 from repro.gulfstream.adapter_proto import AdapterState
 from repro.net.addressing import IPAddress

@@ -4,7 +4,6 @@ from typing import Any
 
 import pytest
 
-from repro.gulfstream.amg import AMGView
 from repro.gulfstream.messages import MemberInfo, Prepare, PrepareAck
 from repro.gulfstream.params import GSParams
 from repro.gulfstream.two_phase import CommitCoordinator
@@ -95,7 +94,6 @@ def test_retry_budget_bounded():
     members = [mi("10.0.0.1"), mi("10.0.0.3")]
     done = []
     c = CommitCoordinator(proto, members, 1, "merge", done.append)
-    epoch = 1
     for _ in range(10):
         if done:
             break

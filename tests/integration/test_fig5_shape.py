@@ -12,7 +12,7 @@ from repro.gulfstream.params import GSParams
 from repro.net.loss import LinkQuality
 from repro.node.osmodel import OSParams
 
-from tests.conftest import FAST, make_flat_farm, run_stable
+from tests.conftest import make_flat_farm, run_stable
 
 SMALL = GSParams(beacon_duration=2.0, amg_stable_wait=1.5, gsc_stable_wait=3.0,
                  beacon_interval=0.5)

@@ -1,7 +1,6 @@
 """The §3.1 moved-adapter cascade, observed step by step at protocol level."""
 
 from repro.gulfstream.adapter_proto import AdapterState
-from repro.net.addressing import IPAddress
 
 from tests.conftest import FAST, run_stable
 
@@ -32,7 +31,6 @@ def test_cascade_traces_match_paper_story():
     farm = build(1)
     nic = farm.hosts["a-1"].adapters[1]
     proto = farm.daemons["a-1"].protocol_for(nic.ip)
-    old_epoch = proto.epoch
     t0 = farm.sim.now
     trace = farm.sim.trace
     rm = farm.reconfig()

@@ -1,7 +1,6 @@
 """Network partitions: independent groups form, merge on heal (§2.1)."""
 
 from repro.gulfstream.adapter_proto import AdapterState
-from repro.net.addressing import IPAddress
 
 from tests.conftest import FAST, make_flat_farm, run_stable
 

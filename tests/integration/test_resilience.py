@@ -1,8 +1,6 @@
 """Long-horizon resilience: churn, loss, GSC failover chains, restarts."""
 
-import pytest
 
-from repro.gulfstream.adapter_proto import AdapterState
 from repro.net.loss import LinkQuality
 from repro.node.faults import FaultInjector
 
@@ -47,7 +45,7 @@ def test_churn_then_quiesce_converges():
 def test_lossy_network_discovery_still_completes():
     farm = make_flat_farm(6, seed=2, params=HB,
                           quality=LinkQuality(loss_probability=0.05))
-    t = run_stable(farm, timeout=120)
+    run_stable(farm, timeout=120)
     farm.sim.run(until=farm.sim.now + 60)
     gsc = farm.gsc()
     # everyone eventually known and up

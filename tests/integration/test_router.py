@@ -3,7 +3,6 @@
 import pytest
 
 from repro.farm.builder import FarmBuilder
-from repro.gulfstream.adapter_proto import AdapterState
 from repro.gulfstream.configdb import ConfigDatabase
 from repro.net.addressing import IPAddress
 from repro.net.fabric import Fabric

@@ -1,0 +1,124 @@
+"""The ``--metrics-out`` flag and the ``metrics`` subcommand, end to end."""
+
+import json
+
+from repro.cli import main
+from repro.metrics import MetricsRegistry, read_final, write_metrics
+from repro.runner import run_sweep
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_discover_metrics_out_jsonl(capsys, tmp_path):
+    out_path = tmp_path / "m.jsonl"
+    code, _ = run(
+        capsys, "discover", "--nodes", "3", "--beacon", "1.5", "--metrics-out", str(out_path)
+    )
+    assert code == 0
+    lines = [json.loads(x) for x in out_path.read_text().splitlines()]
+    assert lines[0]["kind"] == "meta"
+    final = read_final(out_path)
+    # the protocol choke points all reported in
+    assert final["gs.beacon.sent"]["value"] > 0
+    assert final["gsc.reports"]["value"] > 0
+    assert final["sim.events.dispatched"]["value"] > 0
+    assert any(key.startswith("net.segment.frames_sent{") for key in final)
+    # simulated-time sampling: the periodic sampler produced a series
+    times = {r["t"] for r in lines[1:]}
+    assert len(times) > 1
+
+
+def test_fig5_sweep_metrics_out(capsys, tmp_path):
+    out_path = tmp_path / "sweep.jsonl"
+    code, _ = run(
+        capsys,
+        "fig5", "--nodes", "2", "--beacon-times", "2", "--seed", "1",
+        "--metrics-out", str(out_path),
+    )
+    assert code == 0
+    final = read_final(out_path)
+    assert final["runner.sweep.sweeps"]["value"] == 1
+    assert final["runner.sweep.tasks"]["value"] == 1
+    assert final["runner.sweep.wall_clock_s"]["count"] == 1
+
+
+def test_metrics_out_csv_suffix(capsys, tmp_path):
+    out_path = tmp_path / "m.csv"
+    code, _ = run(
+        capsys, "discover", "--nodes", "2", "--beacon", "1.5", "--metrics-out", str(out_path)
+    )
+    assert code == 0
+    assert out_path.read_text().startswith("t,metric,type,field,value")
+    assert read_final(out_path)["gs.beacon.sent"]["value"] > 0
+
+
+def test_metrics_subcommand_single_export_prints_table(capsys, tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    path = write_metrics(reg, tmp_path / "m.jsonl")
+    code, out = run(capsys, "metrics", str(path))
+    assert code == 0
+    assert "c" in out and "counter" in out and "3" in out
+
+
+def test_metrics_subcommand_diff(capsys, tmp_path):
+    a = MetricsRegistry()
+    a.counter("c").inc(100)
+    b = MetricsRegistry()
+    b.counter("c").inc(104)
+    b.gauge("fresh").set(1.0)
+    pa = write_metrics(a, tmp_path / "a.jsonl")
+    pb = write_metrics(b, tmp_path / "b.jsonl")
+
+    code, out = run(capsys, "metrics", str(pa), str(pb))
+    assert code == 1
+    assert "c" in out and "appeared" in out
+
+    # within tolerance, only the appearing metric differs
+    code, out = run(capsys, "metrics", str(pa), str(pb), "--tolerance", "0.1")
+    assert code == 1
+    assert "appeared" in out
+
+    code, out = run(capsys, "metrics", str(pa), str(pa))
+    assert code == 0
+    assert "no metric field differs" in out
+
+
+def test_metrics_subcommand_rejects_three_paths(capsys, tmp_path):
+    p = tmp_path / "x.jsonl"
+    write_metrics(MetricsRegistry(), p)
+    code = main(["metrics", str(p), str(p), str(p)])
+    assert code == 2
+
+
+def _point(x, seed):
+    return {"v": x + seed % 10}
+
+
+def test_run_sweep_accounts_into_a_registry():
+    reg = MetricsRegistry()
+    rows = run_sweep(
+        _point, {"x": [1, 2, 3]}, seed_arg="seed", experiment="t", metrics=reg
+    )
+    assert len(rows) == 3
+    assert reg.counter("runner.sweep.sweeps").value == 1
+    assert reg.counter("runner.sweep.tasks").value == 3
+    assert reg.counter("runner.sweep.dispatched").value == 3
+    assert reg.gauge("runner.sweep.jobs").value == 1
+    assert reg.histogram("runner.sweep.wall_clock_s").count == 1
+
+
+def test_run_sweep_cache_hits_land_in_registry(tmp_path):
+    from repro.runner import ResultCache
+
+    reg = MetricsRegistry()
+    cache = ResultCache(root=tmp_path)
+    run_sweep(_point, {"x": [1, 2]}, seed_arg="seed", experiment="t", cache=cache, metrics=reg)
+    run_sweep(_point, {"x": [1, 2]}, seed_arg="seed", experiment="t", cache=cache, metrics=reg)
+    assert reg.counter("runner.sweep.cache_misses").value == 2
+    assert reg.counter("runner.sweep.cache_hits").value == 2
+    assert reg.counter("runner.sweep.dispatched").value == 2  # warm run dispatched nothing

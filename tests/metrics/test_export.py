@@ -1,0 +1,130 @@
+"""Exporter round-trips, the suffix dispatch, and diffing."""
+
+import json
+
+import pytest
+
+from repro.metrics import (
+    EXPORT_SCHEMA,
+    MetricsRegistry,
+    diff_metrics,
+    prometheus_text,
+    read_final,
+    write_metrics,
+)
+
+
+def make_registry():
+    now = {"t": 0.0}
+    reg = MetricsRegistry(clock=lambda: now["t"])
+    c = reg.counter("net.segment.frames_sent", vlan=10)
+    g = reg.gauge("sim.queue.depth")
+    h = reg.histogram("gs.hb.silence_s", buckets=(0.5, 1.0, 2.0))
+    c.inc(3)
+    g.set(4.0)
+    h.observe(0.25)
+    h.observe(1.5)
+    reg.sample()
+    now["t"] = 10.0
+    c.inc(2)
+    g.set(1.0)
+    h.observe(0.75)
+    reg.sample()
+    return reg
+
+
+EXPECTED_FINAL = {
+    "net.segment.frames_sent{vlan=10}": 5,
+    "sim.queue.depth": 1.0,
+}
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = write_metrics(make_registry(), tmp_path / "m.jsonl")
+    lines = [json.loads(x) for x in path.read_text().splitlines()]
+    assert lines[0] == {"kind": "meta", "schema": EXPORT_SCHEMA}
+    assert {r["t"] for r in lines[1:]} == {0.0, 10.0}
+    final = read_final(path)
+    assert final["net.segment.frames_sent{vlan=10}"]["value"] == 5
+    assert final["net.segment.frames_sent{vlan=10}"]["type"] == "counter"
+    assert final["sim.queue.depth"]["value"] == 1.0
+    hist = final["gs.hb.silence_s"]
+    assert hist["type"] == "histogram"
+    assert hist["count"] == 3
+    assert hist["sum"] == pytest.approx(2.5)
+
+
+def test_csv_round_trip_matches_jsonl(tmp_path):
+    reg = make_registry()
+    from_jsonl = read_final(write_metrics(reg, tmp_path / "m.jsonl"))
+    from_csv = read_final(write_metrics(reg, tmp_path / "m.csv"))
+    # CSV drops bucket detail but agrees on every scalar field
+    for key, fields in from_csv.items():
+        for field, value in fields.items():
+            assert from_jsonl[key][field] == value
+    assert from_csv["net.segment.frames_sent{vlan=10}"]["value"] == 5
+
+
+def test_jsonl_reader_rejects_future_schema(tmp_path):
+    path = tmp_path / "m.jsonl"
+    path.write_text(json.dumps({"kind": "meta", "schema": EXPORT_SCHEMA + 1}) + "\n")
+    with pytest.raises(ValueError):
+        read_final(path)
+
+
+def test_prometheus_text_shape(tmp_path):
+    reg = make_registry()
+    text = prometheus_text(reg)
+    assert '# TYPE net_segment_frames_sent counter' in text
+    assert 'net_segment_frames_sent{vlan="10"} 5' in text
+    assert "sim_queue_depth 1.0" in text
+    # histogram exposition: cumulative buckets, +Inf == count, sum & count
+    assert 'gs_hb_silence_s_bucket{le="0.5"} 1' in text
+    assert 'gs_hb_silence_s_bucket{le="1.0"} 2' in text
+    assert 'gs_hb_silence_s_bucket{le="+Inf"} 3' in text
+    assert "gs_hb_silence_s_count 3" in text
+    # the .prom suffix routes here too
+    path = write_metrics(reg, tmp_path / "m.prom")
+    assert path.read_text() == text
+
+
+def test_write_metrics_without_samples_takes_one(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2)
+    final = read_final(write_metrics(reg, tmp_path / "m.jsonl"))
+    assert final["c"]["value"] == 2
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+def test_diff_metrics_tolerance_and_identity():
+    old = {"c": {"type": "counter", "value": 100}}
+    new = {"c": {"type": "counter", "value": 104}}
+    assert diff_metrics(old, old) == []
+    assert diff_metrics(old, new, tolerance=0.10) == []
+    diffs = diff_metrics(old, new, tolerance=0.01)
+    assert [(d.key, d.field, d.old, d.new) for d in diffs] == [("c", "value", 100.0, 104.0)]
+    assert diffs[0].rel_change == pytest.approx(0.04)
+
+
+def test_diff_metrics_appear_disappear_always_count():
+    old = {"gone": {"type": "counter", "value": 1}}
+    new = {"fresh": {"type": "gauge", "value": 2.0}}
+    diffs = {(d.key, d.old, d.new) for d in diff_metrics(old, new, tolerance=10.0)}
+    assert diffs == {("gone", 1.0, None), ("fresh", None, 2.0)}
+    for d in diff_metrics(old, new):
+        assert d.rel_change == float("inf")
+
+
+def test_diff_metrics_from_zero_is_infinite_change():
+    old = {"c": {"type": "counter", "value": 0}}
+    new = {"c": {"type": "counter", "value": 3}}
+    (d,) = diff_metrics(old, new, tolerance=100.0)
+    assert d.rel_change == float("inf")
+
+
+def test_diff_metrics_ignores_non_numeric_fields():
+    old = {"c": {"type": "counter", "note": "a", "value": 1}}
+    new = {"c": {"type": "gauge", "note": "b", "value": 1}}
+    assert diff_metrics(old, new) == []

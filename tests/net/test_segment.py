@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.net.addressing import IPAddress, MULTICAST
+from repro.net.addressing import IPAddress
 from repro.net.fabric import Fabric
 from repro.net.loss import LinkQuality
-from repro.net.nic import NIC, NicState
+from repro.net.nic import NIC
 from repro.sim.engine import Simulator
 
 
