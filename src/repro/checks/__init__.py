@@ -1,0 +1,53 @@
+"""The validation plane: online protocol-invariant checking.
+
+GulfStream's claims are all *under failure* claims — membership converges,
+failures are detected within a bound, GulfStream Central's correlated view
+tracks ground truth — and the simulator holds perfect ground truth on the
+other side of the choke points the protocol observes through. This package
+asserts the two against each other continuously:
+
+* :mod:`repro.checks.invariants` — :class:`InvariantMonitor`, which
+  subscribes to the simulator trace and the notification bus and checks
+  the protocol invariants (single leader per AMG, bounded membership
+  agreement, bounded detection latency with the §4 δ scheduling term, no
+  adapter lost from GSC's table, topology-vs-configdb consistency) on a
+  periodic sweep plus at quiescence;
+* :mod:`repro.checks.campaign` — the chaos campaign driver behind
+  ``gulfstream-sim chaos``: randomized fault mixes fanned out over
+  seeds × mixes through :mod:`repro.runner`, producing a deterministic
+  machine-readable violations report.
+"""
+
+from repro.checks.invariants import (
+    CheckWindows,
+    InvariantMonitor,
+    MONITOR_TRACE_CATEGORIES,
+    Violation,
+    monitor_trace,
+)
+from repro.checks.campaign import (
+    CHAOS_PARAMS,
+    MIXES,
+    build_named_farm,
+    build_report,
+    render_report,
+    run_campaign,
+    run_chaos_case,
+    write_report,
+)
+
+__all__ = [
+    "CHAOS_PARAMS",
+    "CheckWindows",
+    "InvariantMonitor",
+    "MIXES",
+    "MONITOR_TRACE_CATEGORIES",
+    "Violation",
+    "build_named_farm",
+    "build_report",
+    "monitor_trace",
+    "render_report",
+    "run_campaign",
+    "run_chaos_case",
+    "write_report",
+]

@@ -337,6 +337,35 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.checks import (
+        MIXES, build_report, render_report, run_campaign, write_report,
+    )
+
+    mixes = [m for m in args.mixes.split(",") if m]
+    unknown = [m for m in mixes if m not in MIXES]
+    if unknown:
+        print(f"unknown mix(es) {', '.join(unknown)}; "
+              f"choose from {', '.join(sorted(MIXES))}", file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache:
+        from repro.runner import ResultCache
+
+        cache = ResultCache()
+    rows = run_campaign(
+        args.farm, mixes, args.seeds,
+        jobs=args.jobs, base_seed=args.seed, duration=args.duration,
+        cache=cache,
+    )
+    report = build_report(rows, args.farm, mixes, args.seeds, args.seed)
+    if args.report:
+        path = write_report(report, args.report)
+        print(f"report written to {path}", file=sys.stderr)
+    print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
 def cmd_metrics(args) -> int:
     from repro.metrics import diff_metrics, read_final
 
@@ -443,6 +472,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=100.0)
     p.add_argument("--event", choices=["none", "crash", "move"], default="crash")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="randomized fault campaign with online invariant checking",
+        parents=[common],
+    )
+    p.add_argument("--farm", default="oceano55",
+                   help="farm name: oceanoN or testbedN (e.g. oceano55)")
+    p.add_argument("--mixes", default="mixed",
+                   help="comma-separated fault mixes (crash, adapters, "
+                        "partition, leader, mixed)")
+    p.add_argument("--seeds", type=int, default=10,
+                   help="cases per mix (seeded from --seed)")
+    p.add_argument("--duration", type=float, default=40.0,
+                   help="fault-injection window per case, simulated seconds")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the machine-readable violations report (JSON)")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("metrics", help="print one metrics export, or diff two",
                        parents=[common])

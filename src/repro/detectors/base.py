@@ -171,6 +171,36 @@ class DetectorHarness:
         self.sim.schedule_at(time, self.crash, index)
         return ip
 
+    def fail_adapter(
+        self, index: int, mode: NicState = NicState.FAIL_FULL
+    ) -> IPAddress:
+        """Degrade member ``index``'s adapter now, without stopping it.
+
+        Unlike :meth:`crash` the member's protocol keeps running — a
+        FAIL_SEND member still hears traffic, a FAIL_RECV member still
+        transmits — which is exactly the asymmetry the §3 partial-failure
+        discussion cares about. Any mode counts as dead for declaration
+        scoring: the adapter *is* impaired, so declaring it is correct.
+        """
+        member = self.members[index]
+        member.nic.fail(mode)
+        self.dead[member.nic.ip] = self.sim.now
+        return member.nic.ip
+
+    def fail_adapter_at(
+        self, time: float, index: int, mode: NicState = NicState.FAIL_FULL
+    ) -> IPAddress:
+        ip = self.members[index].nic.ip
+        self.sim.schedule_at(time, self.fail_adapter, index, mode)
+        return ip
+
+    def repair_adapter(self, index: int) -> IPAddress:
+        """Undo :meth:`fail_adapter`: restore the NIC and clear dead status."""
+        member = self.members[index]
+        member.nic.repair()
+        self.dead.pop(member.nic.ip, None)
+        return member.nic.ip
+
     # ------------------------------------------------------------------
     # measurement
     # ------------------------------------------------------------------

@@ -8,7 +8,7 @@ traffic totals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.farm.builder import Farm
@@ -26,6 +26,11 @@ class ScenarioResult:
     notifications: list
     counters: Dict[str, int]
     segment_stats: Dict[int, dict]
+    #: faults armed but never fired — planned actions scheduled past the
+    #: run horizon (e.g. behind a long ``stability_timeout``) plus churn
+    #: crash/repair events still pending when the clock ran out. A
+    #: non-empty list means the scenario did not exercise its full plan.
+    unfired_faults: list = field(default_factory=list)
 
     def notes(self, kind: str) -> list:
         return [n for n in self.notifications if n.kind == kind]
@@ -92,7 +97,26 @@ class Scenario:
             sim.schedule(self.churn_cfg.get("start", 0.0), self.injector.start)
         farm.start()
         stable = farm.run_until_stable(timeout=self.stability_timeout)
-        sim.run(until=self.duration)
+        if sim.now < self.duration:
+            sim.run(until=self.duration)
+        unfired: list = []
+        if self.plan is not None:
+            for act in self.plan.pending_actions():
+                unfired.append(
+                    {"time": act.time, "kind": act.kind, "target": act.target}
+                )
+        if self.injector is not None:
+            for node, kind in sorted(self.injector.pending_faults().items()):
+                unfired.append({"time": None, "kind": f"churn.{kind}", "target": node})
+        for entry in unfired:
+            sim.trace.emit(
+                sim.now,
+                "scenario.fault.unfired",
+                "scenario",
+                kind=entry["kind"],
+                target=entry["target"],
+                planned_time=entry["time"],
+            )
         gsc = farm.gsc()
         segment_stats = {
             vlan: {
@@ -109,4 +133,5 @@ class Scenario:
             notifications=list(farm.bus.history),
             counters=dict(sim.trace.counters),
             segment_stats=segment_stats,
+            unfired_faults=unfired,
         )

@@ -125,6 +125,9 @@ class AdapterProtocol:
         self._report_retry = None
         self._last_reported: Optional[Set[IPAddress]] = None
         self._removed_since_report: Set[IPAddress] = set()
+        # a leader whose entire view died at once sheds the group identity
+        # once the final removal report is flushed (see _install_view)
+        self._dissolve_pending = False
         # metrics plane: farm-wide discovery-traffic counters (§4.1 —
         # beacon load is the other half of the Figure 5 trade-off)
         self._m_beacons = self.sim.metrics.counter("gs.beacon.sent")
@@ -481,7 +484,19 @@ class AdapterProtocol:
                 )
             if old is not None and reason in ("death", "takeover"):
                 self._removed_since_report |= set(old.ips) - set(view.ips)
-            if reason in ("formation", "self_promote", "join", "merge"):
+            if view.size > 1:
+                self._dissolve_pending = False
+            elif old is not None and old.size > 1 and reason == "death":
+                # Every other member vanished from my vantage point at
+                # once. §3.1's likelier explanation is that *this* adapter
+                # was silently moved to a new broadcast domain — the old
+                # VLAN's survivors take over and keep reporting under this
+                # group key, so carrying it along would make two lineages
+                # fight over one group at GulfStream Central. Flush the
+                # final removal report (genuine deaths must still reach
+                # GSC), then shed the group identity (_send_report).
+                self._dissolve_pending = True
+            if reason in ("formation", "self_promote", "join", "merge", "dissolved"):
                 # Fresh leadership lineage, or a commit that absorbed
                 # members: the reporting basis may be stale relative to what
                 # other (partition-era) lineages told GSC under this group
@@ -514,6 +529,7 @@ class AdapterProtocol:
                 self._report_event = None
             self._last_reported = None
             self._removed_since_report.clear()
+            self._dissolve_pending = False
             self.pending_joins.clear()
             self.pending_deaths.clear()
             self._last_leader_contact = self.sim.now
@@ -571,6 +587,7 @@ class AdapterProtocol:
                 (self._last_reported - current) | (self._removed_since_report - current)
             )
             if not added and not removed:
+                self._finish_dissolve()
                 return
         report = MembershipReport(
             leader=self.ip,
@@ -591,12 +608,29 @@ class AdapterProtocol:
                        added=len(added), removed=len(removed))
             self._last_reported = current
             self._removed_since_report.clear()
+            self._finish_dissolve()
         else:
             # no route to GSC yet (admin group still forming): retry
             if self._report_retry is None or not self._report_retry.pending:
                 self._report_retry = self._later(
                     self.params.report_retry_interval, self._send_report
                 )
+
+    def _finish_dissolve(self) -> None:
+        """Shed a dissolved group's identity after its last report.
+
+        Deferred until the removal report is flushed so GSC still learns
+        of the deaths under the old key; a merge that re-grows the view in
+        the meantime clears the flag in :meth:`_install_view`.
+        """
+        if not self._dissolve_pending:
+            return
+        self._dissolve_pending = False
+        if self.view is None or self.view.size != 1:
+            return
+        self.trace("gs.dissolve", old_key=self.view.group_key)
+        view = AMGView.build([self.my_info()], self._next_epoch())  # fresh key
+        self._install_view(view, reason="dissolved")
 
     def resend_full_report(self) -> None:
         """Re-sync a (possibly new) GulfStream Central with full membership."""
@@ -611,6 +645,12 @@ class AdapterProtocol:
         if self.view is None:
             return
         if self.state is AdapterState.LEADER:
+            if not self.nic.loopback_test():
+                # my own adapter is the silent one: declaring the members
+                # dead and reporting it over the admin network would push a
+                # phantom group to GSC while the real group takes over (§3)
+                self.trace("gs.selffault")
+                return
             self._begin_verification(suspect, reporter=self.ip)
             return
         if not self.nic.loopback_test():

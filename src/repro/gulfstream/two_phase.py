@@ -69,6 +69,9 @@ class CommitCoordinator:
         self.reason = reason
         # a fresh formation mints a new group identity; recommits keep it
         self.group_key = group_key or f"{self.members[0].ip}@{epoch}"
+        #: everyone originally proposed, before retry rounds prune silence —
+        #: _finish compares this against the coordinator's prior view
+        self._proposed = {m.ip for m in self.members}
         self.on_done = on_done
         self.acks: Dict[IPAddress, bool] = {}
         self.nack_epochs: list[int] = []
@@ -160,13 +163,35 @@ class CommitCoordinator:
             if m.ip == proto.ip or self.acks.get(m.ip) is True
         ]
         dropped = len(self.members) - len(committed)
-        view = AMGView.build(committed, self.epoch, self.group_key)
+        key = self.group_key
+        old = getattr(proto, "view", None)
+        if old is not None and key == old.group_key and old.size > 1:
+            committed_ips = {m.ip for m in committed}
+            lost_old = {
+                ip for ip in old.ips
+                if ip != proto.ip and ip in self._proposed and ip not in committed_ips
+            }
+            if 2 * len(lost_old) > old.size - 1:
+                # The majority of my previous group was proposed but went
+                # silent in one change. §3.1's likelier reading is that
+                # *this* adapter left them — a silent VLAN move or the
+                # minority side of a partition — not that they all died at
+                # once. They live on under the old group identity with
+                # their own takeover lineage; committing this view under
+                # the same key would leave two leaders fighting over one
+                # group at GulfStream Central, with the losers' adapters
+                # permanently marked failed. Mint a fresh identity instead
+                # (verified deaths are removed from the *proposal* before
+                # the round starts, so they never trip this).
+                key = ""
+                proto.trace("gs.group.rekey", old_key=old.group_key)
+        view = AMGView.build(committed, self.epoch, key)
         msg = Commit(
             coordinator=proto.ip,
             epoch=self.epoch,
             members=view.members,
             reason=self.reason,
-            group_key=self.group_key,
+            group_key=view.group_key,
         )
         size = proto.params.membership_msg_size(len(view.members))
         for m in view.members:

@@ -1,0 +1,99 @@
+"""Partial-failure modes (§3) across all four detector schemes.
+
+FAIL_FULL is exercised by the comparison bench; these tests pin the
+asymmetric modes: a FAIL_SEND adapter falls silent but still hears, a
+FAIL_RECV adapter keeps transmitting but is deaf. Heartbeat schemes can
+only see the *send* side — a deaf-but-chatty adapter looks healthy to its
+peers while it wrongly accuses them. Request/response schemes (gossip's
+ping, central polling) catch both directions, because an unanswered
+request is evidence regardless of which half of the adapter died.
+"""
+
+import pytest
+
+from repro.detectors import (
+    AllPairsDetector, CentralPollDetector, DetectorHarness, DetectorParams,
+    GossipDetector, RingDetector,
+)
+from repro.net.nic import NicState
+
+N = 8
+VICTIM = 2
+
+
+def _run(cls, mode, seed=0, until=60.0, **kw):
+    h = DetectorHarness(N, cls, DetectorParams(), seed=seed, **kw)
+    h.start()
+    h.run(until=20.0)
+    ip = h.fail_adapter(VICTIM, mode)
+    h.run(until=until)
+    return h, ip
+
+
+# ----------------------------------------------------------------------
+# heartbeat schemes: detect FAIL_SEND, blind to FAIL_RECV
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cls", [RingDetector, AllPairsDetector])
+def test_heartbeat_detects_fail_send(cls):
+    h, ip = _run(cls, NicState.FAIL_SEND)
+    assert h.detection_time(ip) is not None
+    # the victim still hears its peers' heartbeats: no false accusations
+    assert h.false_positives() == []
+
+
+@pytest.mark.parametrize("cls", [RingDetector, AllPairsDetector])
+def test_heartbeat_blind_to_fail_recv(cls):
+    h, ip = _run(cls, NicState.FAIL_RECV)
+    assert h.detection_time(ip) is None, \
+        "a deaf-but-chatty adapter looks healthy to heartbeat peers"
+    # ...while the deaf victim wrongly accuses the peers it can't hear
+    fps = h.false_positives()
+    assert fps and all(d.reporter == ip for d in fps)
+
+
+@pytest.mark.parametrize("cls", [RingDetector, AllPairsDetector])
+def test_heartbeat_detects_fail_full(cls):
+    h, ip = _run(cls, NicState.FAIL_FULL)
+    assert h.detection_time(ip) is not None
+
+
+# ----------------------------------------------------------------------
+# gossip (randomized ping): both directions break the request/response
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mode", [NicState.FAIL_SEND, NicState.FAIL_RECV, NicState.FAIL_FULL]
+)
+def test_gossip_detects_every_mode(mode):
+    h, ip = _run(GossipDetector, mode, until=90.0)
+    assert h.detection_time(ip) is not None, mode
+    # any false accusation can only come from the impaired victim itself
+    assert all(d.reporter == ip for d in h.false_positives())
+
+
+# ----------------------------------------------------------------------
+# central polling: the monitor's poll round-trip catches every mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mode", [NicState.FAIL_SEND, NicState.FAIL_RECV, NicState.FAIL_FULL]
+)
+def test_central_poll_detects_every_mode(mode):
+    h, ip = _run(CentralPollDetector, mode)
+    assert VICTIM != h.monitor_index
+    assert h.detection_time(ip) is not None, mode
+    assert h.false_positives() == []
+
+
+def test_repair_clears_dead_status():
+    h = DetectorHarness(N, AllPairsDetector, DetectorParams(), seed=4)
+    h.start()
+    h.run(until=20.0)
+    ip = h.fail_adapter(VICTIM, NicState.FAIL_SEND)
+    h.run(until=40.0)
+    assert h.detection_time(ip) is not None
+    h.repair_adapter(VICTIM)
+    assert ip not in h.dead
+    h.run(until=80.0)
+    # declarations after the repair would now be false positives; peers
+    # must clear the suspect once its heartbeats return
+    late = [d for d in h.false_positives() if d.time > 45.0]
+    assert late == []

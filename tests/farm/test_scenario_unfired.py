@@ -1,0 +1,48 @@
+"""Pins the ``Scenario.run`` fix: faults scheduled past the run horizon are
+surfaced in the result (and the trace) instead of silently dropped."""
+
+from repro.farm.scenario import Scenario
+from repro.node.faults import FaultPlan
+
+from tests.conftest import FAST, make_flat_farm
+
+
+def test_unfired_planned_faults_are_surfaced():
+    farm = make_flat_farm(3, seed=9, params=FAST)
+    plan = (
+        FaultPlan()
+        .crash_node(25.0, "node-1")       # inside the horizon: fires
+        .restart_node(80.0, "node-1")     # past the horizon: must surface
+        .fail_adapter(90.0, "10.2.0.2")
+    )
+    result = Scenario(farm, plan=plan, duration=40.0).run()
+    assert result.stable_time is not None
+    unfired = {(e["kind"], e["target"]) for e in result.unfired_faults}
+    assert unfired == {
+        ("restart_node", "node-1"),
+        ("fail_adapter", "10.2.0.2"),
+    }
+    assert all(e["time"] > 40.0 for e in result.unfired_faults)
+    assert result.counters.get("scenario.fault.unfired") == 2
+    # the in-horizon crash really happened
+    assert farm.hosts["node-1"].crashed
+
+
+def test_fully_exercised_plan_reports_nothing():
+    farm = make_flat_farm(3, seed=10, params=FAST)
+    plan = FaultPlan().crash_node(20.0, "node-2").restart_node(26.0, "node-2")
+    result = Scenario(farm, plan=plan, duration=45.0).run()
+    assert result.unfired_faults == []
+    assert "scenario.fault.unfired" not in result.counters
+
+
+def test_unfired_churn_is_surfaced():
+    farm = make_flat_farm(3, seed=11, params=FAST)
+    # mtbf far beyond the horizon: every armed crash clock outlives the run
+    result = Scenario(
+        farm, churn={"mtbf": 10_000.0, "mttr": 5.0, "start": 0.0},
+        duration=30.0,
+    ).run()
+    churn = [e for e in result.unfired_faults if e["kind"].startswith("churn.")]
+    assert len(churn) == len(farm.hosts)
+    assert {e["kind"] for e in churn} == {"churn.crash"}

@@ -1,0 +1,115 @@
+"""Property-based tests for AMG rank order and ring geometry.
+
+The rank order is load-bearing three times over: it picks the leader, it
+designates the takeover successor, and it *is* the heartbeat ring. These
+properties pin the algebra for arbitrary member sets rather than the
+handful of fixtures the unit tests use.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.gulfstream.amg import AMGView, choose_leader, rank_members
+from repro.gulfstream.messages import MemberInfo
+from repro.net.addressing import IPAddress
+
+
+@st.composite
+def member_lists(draw, min_size=1, max_size=20):
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    ips = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=0xFFFFFFFE),
+            min_size=n, max_size=n, unique=True,
+        )
+    )
+    flags = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return [
+        MemberInfo(IPAddress(ip), f"n{i}", 0, admin_eligible=flag)
+        for i, (ip, flag) in enumerate(zip(ips, flags))
+    ]
+
+
+@given(member_lists())
+def test_leader_is_choose_leader(members):
+    view = AMGView.build(members, epoch=1)
+    assert view.leader == choose_leader(members)
+    assert view.leader.admin_eligible == max(
+        m.admin_eligible for m in members
+    ), "an eligible member always outranks ineligible ones"
+
+
+@given(member_lists())
+def test_rank_index_consistent_with_member_tuple(members):
+    view = AMGView.build(members, epoch=3)
+    for i, m in enumerate(view.members):
+        assert view.rank(m.ip) == i
+        assert view.contains(m.ip)
+        assert view.member(m.ip) is m
+    assert view.rank(view.leader_ip) == 0
+    outsider = IPAddress(0xFFFFFFFF)
+    if not view.contains(outsider):
+        assert view.member(outsider) is None
+
+
+@given(member_lists(), st.randoms(use_true_random=False))
+def test_rank_order_is_permutation_invariant(members, rnd):
+    shuffled = list(members)
+    rnd.shuffle(shuffled)
+    assert rank_members(shuffled) == rank_members(members)
+    assert [m.ip for m in rank_members(shuffled)] == [
+        m.ip for m in rank_members(members)
+    ]
+
+
+@given(member_lists(min_size=2))
+def test_successor_takes_over_on_leader_death(members):
+    view = AMGView.build(members, epoch=2)
+    survivors = view.without([view.leader_ip])
+    assert rank_members(survivors)[0] == view.successor
+    # rank order is stable under removal: survivors keep their relative order
+    assert survivors == tuple(m for m in view.members if m != view.leader)
+
+
+@given(member_lists(min_size=2))
+def test_ring_closes_and_visits_everyone(members):
+    view = AMGView.build(members, epoch=1)
+    start = view.leader_ip
+    seen = []
+    ip = start
+    for _ in range(view.size):
+        seen.append(ip)
+        left, right = view.neighbors(ip)
+        # left/right are inverses of each other
+        assert view.neighbors(right)[0] == ip
+        assert view.neighbors(left)[1] == ip
+        ip = right
+    assert ip == start, "walking right N times must close the ring"
+    assert sorted(seen, key=int) == sorted(view.ips, key=int)
+
+
+@given(member_lists(max_size=1))
+def test_singleton_has_no_ring(members):
+    view = AMGView.build(members, epoch=1)
+    assert view.successor is None
+    assert view.neighbors(view.leader_ip) == (None, None)
+
+
+@given(member_lists(), st.integers(min_value=0, max_value=1000))
+def test_default_group_key_names_founding_leader_and_epoch(members, epoch):
+    view = AMGView.build(members, epoch=epoch)
+    assert view.group_key == f"{view.leader_ip}@{epoch}"
+    # an explicit key (a recommit) is carried through untouched
+    kept = AMGView.build(members, epoch=epoch + 1, group_key=view.group_key)
+    assert kept.group_key == view.group_key
+
+
+@given(member_lists(min_size=2), st.data())
+def test_without_drops_exactly_the_given_ips(members, data):
+    view = AMGView.build(members, epoch=1)
+    victims = data.draw(
+        st.lists(st.sampled_from(list(view.ips)), unique=True, max_size=view.size - 1)
+    )
+    rest = view.without(victims)
+    assert {m.ip for m in rest} == set(view.ips) - set(victims)
+    # no re-sorting: the survivors appear in their original rank order
+    assert list(rest) == [m for m in view.members if m.ip not in set(victims)]

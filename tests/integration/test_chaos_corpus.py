@@ -1,0 +1,115 @@
+"""Regression seed corpus: chaos cases that once exposed protocol bugs.
+
+Every entry here is a *committed replay*: a seed/mix/scenario that at some
+point produced an invariant violation (or exercises a shape that did). Any
+future seed that trips the monitor should be added as a new case with a
+comment explaining what it caught.
+"""
+
+import pytest
+
+from repro.checks import InvariantMonitor, run_chaos_case
+from repro.gulfstream.adapter_proto import AdapterState
+
+from tests.conftest import FAST, make_flat_farm, run_stable
+
+pytestmark = pytest.mark.slow
+
+HB = FAST.derive(hb_interval=0.5, probe_timeout=0.5, orphan_timeout=3.0,
+                 suspect_retry_interval=0.5, takeover_stagger=0.5)
+
+
+def _leader(farm, vlan):
+    return next(
+        p
+        for d in farm.daemons.values()
+        for p in d.protocols.values()
+        if p.nic.port is not None and p.nic.port.vlan == vlan
+        and p.state is AdapterState.LEADER
+    )
+
+
+def test_corpus_silently_moved_leader():
+    """oceano55 / mixed: an AMG leader silently VLAN-moved mid-campaign.
+
+    This seed originally made the moved leader carry its group key into the
+    target VLAN, absorb that VLAN's group while the 2PC dropped its old
+    (unreachable) members, and fight the old VLAN's takeover lineage over
+    one group key at GSC — the losers' adapters stayed permanently marked
+    failed (no_lost_adapter + verify_topology violations). Fixed by the
+    majority-loss rekey in ``CommitCoordinator._finish``.
+    """
+    row = run_chaos_case(
+        "mixed", case=0, farm="oceano55", duration=40.0,
+        seed=7105910197032038905,
+    )
+    assert row["violations"] == [], row["violations"]
+    assert row["faults"]["move"] >= 1, "the replay must still inject moves"
+
+
+def test_corpus_leader_targeted_kills():
+    """oceano55 / leader: repeated leader-targeted kills with sched spikes.
+
+    Exercises takeover chains under scheduling delay — the §4 δ term —
+    where a hypersensitive rekey trigger once minted spurious group
+    identities (caught as extra GSC group records by tier-1).
+    """
+    row = run_chaos_case(
+        "leader", case=0, farm="oceano55", duration=40.0, seed=1,
+    )
+    assert row["violations"] == [], row["violations"]
+    assert row["faults"]["leader_kill"] >= 1
+
+
+def test_corpus_partition_with_loss_bursts():
+    """oceano55 / partition: repeated VLAN partitions under loss bursts —
+    the island/merge path the single-leader checker must scope correctly."""
+    row = run_chaos_case(
+        "partition", case=0, farm="oceano55", duration=40.0, seed=2,
+    )
+    assert row["violations"] == [], row["violations"]
+    assert row["faults"]["partition"] >= 1
+
+
+def test_leader_kill_during_amg_dissolution():
+    """Hand-scripted hard case: kill the leader while its group is already
+    dissolving (a concurrent member death is mid-recommit)."""
+    farm = make_flat_farm(5, seed=21, params=HB)
+    monitor = InvariantMonitor(farm)
+    run_stable(farm)
+    monitor.start()
+    t0 = farm.sim.now
+    leader = _leader(farm, 2)
+    # a member dies; half a second later — inside the death recommit and
+    # takeover window — the leader's host is killed too
+    victims = [m for m in leader.view.members if m.ip != leader.ip]
+    farm.hosts[victims[0].node].crash()
+    farm.sim.run(until=t0 + 0.5)
+    farm.hosts[leader.host.name].crash()
+    farm.sim.run(until=farm.sim.now + monitor.windows.settle_time)
+    farm.hosts[victims[0].node].restart()
+    farm.hosts[leader.host.name].restart()
+    farm.sim.run(until=farm.sim.now + monitor.windows.settle_time)
+    monitor.finalize()
+    assert monitor.ok, monitor.summary()["violations"]
+    assert len(monitor.latencies) >= 2, "both deaths must be detected"
+
+
+def test_partition_mid_move():
+    """Hand-scripted hard case: the target VLAN partitions in the middle of
+    a §3.1 domain move, so the mover arrives into a split segment."""
+    farm = make_flat_farm(6, seed=22, params=HB, vlans=(1, 2, 3))
+    monitor = InvariantMonitor(farm)
+    run_stable(farm)
+    monitor.start()
+    mover = farm.hosts["node-2"].adapters[1]
+    t0 = farm.sim.now
+    farm.reconfig().move_adapter(mover.ip, 3)
+    seg = farm.fabric.segments[3]
+    members = sorted(seg.members, key=int)
+    farm.sim.schedule_at(t0 + 0.3, seg.partition, [members[: len(members) // 2]])
+    farm.sim.schedule_at(t0 + 6.0, seg.heal)
+    farm.sim.run(until=t0 + monitor.windows.settle_time + 10.0)
+    monitor.finalize()
+    assert monitor.ok, monitor.summary()["violations"]
+    assert mover.port.vlan == 3, "the move must still complete"
