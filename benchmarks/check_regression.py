@@ -13,10 +13,12 @@ job's teeth, and runs locally the same way::
 
 Metric direction is inferred from the key:
 
-* **higher is better** — ``*_per_sec``, ``*speedup*``, ``*hit_rate``;
-* **lower is better** — ``*_s`` wall-clocks, ``*peak_heap*``;
-* everything else (counts, core numbers, configuration echoes) is
-  informational and never gates.
+* **higher is better** — ``*_per_sec*``, ``*delivery_rate*``, ``*speedup*``,
+  ``*hit_rate``;
+* **lower is better** — ``*_s`` wall-clocks, ``*peak_heap*``, ``*peak_rss*``,
+  ``us_per_*`` unit costs;
+* everything else (counts, core numbers, configuration echoes, ``baseline_*``
+  comparison anchors) is informational and never gates.
 
 Wall-clock metrics get a wider band than rate metrics because trajectory
 points come from heterogeneous machines (dev boxes, CI runners). The
@@ -62,11 +64,13 @@ _MIN_CPUS_FOR_CPU_BOUND = 4
 
 def classify(key: str) -> str:
     """``"higher"`` / ``"lower"`` / ``"info"`` for one metric key."""
-    if key in _INFO_KEYS:
+    if key in _INFO_KEYS or key.startswith("baseline_"):
+        # baseline_* keys echo the comparison configuration's absolute
+        # rate (machine-dependent); the gated signal is the ratio metric
         return "info"
-    if key.endswith("_per_sec") or "speedup" in key or key.endswith("hit_rate"):
+    if "_per_sec" in key or "delivery_rate" in key or "speedup" in key or key.endswith("hit_rate"):
         return "higher"
-    if key.endswith("_s") or "peak_heap" in key:
+    if key.endswith("_s") or "peak_heap" in key or "peak_rss" in key or "us_per_" in key:
         return "lower"
     return "info"
 

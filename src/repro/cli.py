@@ -12,7 +12,8 @@ explored without writing Python::
     gulfstream-sim serve --rate 100 --event move
 
 Every command prints a plain-text report; ``--seed`` makes any run exactly
-reproducible. The sweep-shaped commands (``fig5``, ``detectors``, and
+reproducible, and ``--sim-backend wheel|heap`` selects the simulator's
+pending-event structure (observationally identical; docs/PROTOCOL.md §8). The sweep-shaped commands (``fig5``, ``detectors``, and
 ``discover`` with ``--replicates``) fan their independent runs out over
 the parallel experiment fabric (:mod:`repro.runner`): ``--jobs N`` uses N
 worker processes, ``--replicates N`` averages N independently-seeded runs
@@ -34,6 +35,7 @@ format follows the suffix (``.jsonl`` / ``.csv`` / ``.prom``); the
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -434,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH", default=None,
         help="export the run's metrics registry; format follows the suffix "
              "(.jsonl time-series, .csv flat, .prom Prometheus text)")
+    common.add_argument(
+        "--sim-backend", choices=["wheel", "heap"], default=None,
+        help="pending-event structure for every simulator in this run, "
+             "including sweep workers (default: wheel). The backends are "
+             "observationally identical; see docs/PROTOCOL.md §8")
     parser = argparse.ArgumentParser(
         prog="gulfstream-sim",
         description="GulfStream (CLUSTER 2001) reproduction — scenario runner",
@@ -503,6 +510,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "sim_backend", None):
+        # the env var (not a constructor argument) so that every Simulator
+        # built anywhere in this run — including ones constructed inside
+        # spawned sweep workers, which inherit the environment — sees it
+        os.environ["GULFSTREAM_SIM_BACKEND"] = args.sim_backend
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `gulfstream-sim metrics x.jsonl | head`

@@ -158,6 +158,11 @@ class AdapterProtocol:
     def send(self, dst: IPAddress, payload: Any, size: Optional[int] = None) -> bool:
         return self.nic.send(dst, payload, size=size or self.params.size_control)
 
+    def send_many(
+        self, dsts: "list[IPAddress]", payload: Any, size: Optional[int] = None
+    ) -> bool:
+        return self.nic.send_many(dsts, payload, size=size or self.params.size_control)
+
     def _later(self, delay: float, fn, *args):
         gen = self.gen
         return self.sim.schedule(delay, self._guarded, gen, fn, args)

@@ -36,6 +36,10 @@ class Fabric:
         self.routers: Dict[str, Router] = {}
         #: quality model handed to newly created segments
         self.default_quality = default_quality
+        #: live count of currently failed switches, maintained by
+        #: Switch.fail/repair — zero lets the delivery path skip the
+        #: per-receiver switch/router eligibility walk entirely
+        self.failed_switches = 0
         self._reach_cache: Optional[Dict[str, int]] = None
         # farm-wide adapter totals, pulled from the per-NIC tallies only
         # when a metrics sample/export is taken (segments register their
@@ -218,6 +222,25 @@ class Fabric:
             self.sim.trace.emit(self.sim.now, "net.drop.switch", nic.name, switch=port.switch.name)
             return False
         return self.segments[port.vlan].transmit(nic, frame)
+
+    def transmit_many(self, nic: NIC, frames: "list[Frame]") -> bool:
+        """Route a batch of frames from one sender onto its current segment.
+
+        The port/VLAN/switch checks run once for the batch; per-frame
+        semantics downstream are identical to :meth:`transmit`.
+        """
+        port = nic.port
+        if port is None or port.vlan is None:
+            emit = self.sim.trace.emit
+            for _ in frames:
+                emit(self.sim.now, "net.drop.unattached", nic.name)
+            return False
+        if port.switch.failed:
+            emit = self.sim.trace.emit
+            for _ in frames:
+                emit(self.sim.now, "net.drop.switch", nic.name, switch=port.switch.name)
+            return False
+        return self.segments[port.vlan].transmit_multi(nic, frames)
 
     # ------------------------------------------------------------------
     # inspection

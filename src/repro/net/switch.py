@@ -75,12 +75,16 @@ class Switch:
 
     def fail(self) -> None:
         """Take the whole switch down."""
+        if not self.failed and self.fabric is not None:
+            self.fabric.failed_switches += 1
         self.failed = True
         if self.fabric is not None:
             self.fabric.sim.trace.emit(self.fabric.sim.now, "net.switch.fail", self.name)
 
     def repair(self) -> None:
         """Bring the switch back."""
+        if self.failed and self.fabric is not None:
+            self.fabric.failed_switches -= 1
         self.failed = False
         if self.fabric is not None:
             self.fabric.sim.trace.emit(self.fabric.sim.now, "net.switch.repair", self.name)

@@ -24,6 +24,7 @@ import hashlib
 import json
 import os
 import pathlib
+import tempfile
 from typing import Any, Mapping, Optional
 
 from repro.runner.seeding import canonical_json
@@ -111,20 +112,48 @@ class ResultCache:
         except (OSError, ValueError):
             self.misses += 1
             return MISS
+        if not isinstance(doc, dict) or "result" not in doc:
+            # well-formed JSON that is not one of our entries (truncated
+            # rewrite, foreign file): a miss, and the bad entry is evicted
+            # so the next put can heal it
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return MISS
         self.hits += 1
         return doc["result"]
 
     def put(self, key: str, result: Any) -> bool:
         """Store one result; returns False (and stores nothing) if the
-        value does not survive a JSON round-trip."""
+        value does not survive a JSON round-trip.
+
+        ``allow_nan=False`` keeps entries strict JSON: a result carrying
+        NaN/Infinity is refused like any other unserializable value,
+        instead of silently writing a file no strict parser (our own
+        ``get`` included) could read back.
+        """
         try:
-            text = json.dumps({"key": key, "result": result}, allow_nan=True)
+            text = json.dumps({"key": key, "result": result}, allow_nan=False)
         except (TypeError, ValueError):
             return False
         self.root.mkdir(parents=True, exist_ok=True)
-        tmp = self._path(key).with_suffix(".tmp")
-        tmp.write_text(text, encoding="utf-8")
-        os.replace(tmp, self._path(key))
+        # unique per-writer tmp in the same directory: concurrent pool
+        # workers storing the same key each write their own file and the
+        # last os.replace wins atomically — a shared <key>.tmp would let
+        # two writers interleave before either rename
+        fd, tmp = tempfile.mkstemp(prefix=f".{key}.", suffix=".tmp", dir=self.root)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
         self.stores += 1
         return True
 

@@ -33,6 +33,11 @@ class StubProto:
         self.sent.append((dst, payload))
         return True
 
+    def send_many(self, dsts, payload, size=None):
+        for dst in dsts:
+            self.sent.append((dst, payload))
+        return True
+
     def trace(self, *a, **k):
         pass
 

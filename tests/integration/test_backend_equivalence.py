@@ -1,0 +1,72 @@
+"""Wheel ≡ heap at farm scale: identical traces, metrics, and chaos rows.
+
+The timer wheel is an optimisation, not a semantic change: for any scenario
+the two event-queue backends must replay *byte-identical* protocol
+histories. This suite re-runs the golden-trace scenario, the full 55-node
+metrics snapshot, and the chaos seed corpus under both backends and diffs
+the results directly — the farm-scale counterpart of the randomized
+differential tests in ``tests/sim/test_wheel.py``.
+
+The single exclusion is the ``sim.queue.dead`` gauge: it reports the
+backend's *lazy-purge* bookkeeping (cancelled entries not yet physically
+dropped), which legitimately depends on where each backend parks an entry —
+it says nothing about protocol behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks import run_chaos_case
+
+from tests.integration.test_golden_trace import _fingerprint, _run_scenario
+from tests.integration.test_metrics_golden import _snapshot
+
+pytestmark = pytest.mark.slow
+
+BACKENDS = ("heap", "wheel")
+
+#: backend-internal lazy-purge state; see module docstring
+_BACKEND_PRIVATE_METRICS = {"sim.queue.dead"}
+
+
+def test_golden_scenario_traces_identical_across_backends(monkeypatch):
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "heap")
+    c1, s1, n1, t1 = _fingerprint(_run_scenario(seed=2001))
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "wheel")
+    c2, s2, n2, t2 = _fingerprint(_run_scenario(seed=2001))
+    assert c1 == c2, "trace counters diverged between backends"
+    assert s1 == s2, "stored record stream diverged between backends"
+    assert (n1, t1) == (n2, t2), "event count / clock diverged between backends"
+
+
+def test_metrics_snapshots_identical_across_backends(monkeypatch):
+    snaps = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", backend)
+        snap = _snapshot()
+        snaps[backend] = {
+            k: v for k, v in snap.items() if k not in _BACKEND_PRIVATE_METRICS
+        }
+    assert set(snaps["heap"]) == set(snaps["wheel"])
+    mismatched = {
+        k for k in snaps["heap"] if snaps["heap"][k] != snaps["wheel"][k]
+    }
+    assert not mismatched, f"metrics diverged between backends: {sorted(mismatched)}"
+
+
+@pytest.mark.parametrize(
+    "mix,seed",
+    [
+        ("mixed", 7105910197032038905),
+        ("leader", 1),
+    ],
+)
+def test_chaos_corpus_rows_identical_across_backends(monkeypatch, mix, seed):
+    rows = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", backend)
+        rows[backend] = run_chaos_case(
+            mix, case=0, farm="oceano55", duration=40.0, seed=seed
+        )
+    assert rows["heap"] == rows["wheel"]

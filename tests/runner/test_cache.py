@@ -57,6 +57,70 @@ def test_corrupt_entry_is_a_miss(cache, tmp_path):
     assert cache.get(key) is MISS
 
 
+def test_entry_missing_result_field_is_a_miss_and_evicted(cache, tmp_path):
+    """Well-formed JSON without "result" (truncated rewrite, foreign file)
+    must be a counted miss — not an uncaught KeyError after a counted hit —
+    and the bad entry must be evicted so a later put can heal it."""
+    key = cache.key("exp", {"n": 3})
+    path = tmp_path / f"{key}.json"
+    path.write_text(json.dumps({"key": key, "other": 1}), encoding="utf-8")
+    assert cache.get(key) is MISS
+    assert cache.hits == 0 and cache.misses == 1
+    assert not path.exists()
+    # non-dict top-level documents are the same class of garbage
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert cache.get(key) is MISS
+    assert cache.hits == 0 and cache.misses == 2
+    assert not path.exists()
+    # the slot heals on the next put
+    assert cache.put(key, {"v": 3})
+    assert cache.get(key) == {"v": 3}
+    assert cache.hits == 1
+
+
+def test_nan_results_are_refused_not_written_as_invalid_json(cache, tmp_path):
+    """allow_nan output ("NaN"/"Infinity" literals) is not strict JSON; a
+    result carrying them must be skipped like any unserializable value."""
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        key = cache.key("exp", {"v": repr(bad)})
+        assert not cache.put(key, {"metric": bad})
+        assert cache.get(key) is MISS
+    assert cache.stores == 0
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_concurrent_puts_of_same_key_never_collide(cache, tmp_path):
+    """Two pool workers storing the same grid point must not share a tmp
+    file: with the shared <key>.tmp scheme one writer's os.replace could
+    steal the other's tmp out from under it (FileNotFoundError) or publish
+    interleaved bytes."""
+    import threading
+
+    key = cache.key("exp", {"n": 9})
+    rounds = 100
+    start = threading.Barrier(2)
+    errors = []
+
+    def writer(value):
+        try:
+            start.wait()
+            for _ in range(rounds):
+                assert cache.put(key, {"v": value})
+        except Exception as exc:  # pragma: no cover - the pre-fix failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    # the published entry is whole and valid — never an interleaving
+    assert cache.get(key) in ({"v": 0}, {"v": 1})
+    # no abandoned tmp files accumulate in the cache directory
+    assert not list(tmp_path.glob("*.tmp")) and not list(tmp_path.glob(".*.tmp"))
+
+
 def test_default_cache_dir_env_override(monkeypatch, tmp_path):
     monkeypatch.setenv("GULFSTREAM_CACHE_DIR", str(tmp_path / "custom"))
     assert default_cache_dir() == tmp_path / "custom"

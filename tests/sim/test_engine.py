@@ -1,10 +1,20 @@
-"""Event-loop semantics: ordering, cancellation, stopping, safety rails."""
+"""Event-loop semantics: ordering, cancellation, stopping, safety rails.
+
+Every test here runs twice — once per event-queue backend — so the timer
+wheel and the reference heap are held to the identical contract.
+"""
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.engine import SimulationError, Simulator
+
+
+@pytest.fixture(autouse=True, params=["wheel", "heap"])
+def backend(request, monkeypatch):
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", request.param)
+    return request.param
 
 
 def test_events_fire_in_time_order():
@@ -235,6 +245,63 @@ def test_purge_during_run_keeps_loop_consistent():
     sim.run()
     assert fired == ["first", "second"]
     assert sim.pending_count() == 0 and not sim._queue
+
+
+def test_reschedule_triggers_dead_entry_compaction():
+    """Re-arming must run the same compaction check as schedule(): a
+    cancel-heavy workload whose only scheduling call is reschedule()
+    previously piled dead entries up without ever compacting."""
+    from repro.sim.engine import PURGE_THRESHOLD
+
+    sim = Simulator()
+    worker = sim.schedule(0.5, lambda: None)
+    sim.run()
+    doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(4 * PURGE_THRESHOLD)]
+    for ev in doomed:
+        ev.cancel()
+    sim.reschedule(worker, 1.0)
+    assert len(sim._queue) < len(doomed)
+    assert sim.pending_count() == 1
+    sim.run()
+    assert worker.fired
+
+
+def test_next_event_time_triggers_dead_entry_compaction():
+    """Peeking must compact too: a monitor polling next_event_time() while
+    cancellations pile up behind a live front event previously left the
+    dead tail resident forever (only dead entries *at the top* were ever
+    dropped)."""
+    from repro.sim.engine import PURGE_THRESHOLD
+
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    doomed = [sim.schedule(1000.0 + i, lambda: None) for i in range(4 * PURGE_THRESHOLD)]
+    for ev in doomed:
+        ev.cancel()
+    assert sim.next_event_time() == 1.0
+    assert len(sim._queue) < len(doomed)
+    assert sim.pending_count() == 1
+
+
+def test_cancel_heavy_workload_queue_stays_bounded():
+    """Stress: cancel waves with only next_event_time() in between must
+    keep the compaction invariant — dead entries never dominate a queue
+    bigger than the threshold."""
+    from repro.sim.engine import PURGE_THRESHOLD
+
+    sim = Simulator()
+    batch = PURGE_THRESHOLD
+    pool = [sim.schedule(10_000.0 + i, lambda: None) for i in range(8 * batch)]
+    while pool:
+        # cancel from the far end, so the dead pile is never at the queue
+        # front where the peek path would drop it incidentally
+        doomed, pool = pool[-batch:], pool[:-batch]
+        for ev in doomed:
+            ev.cancel()
+        sim.next_event_time()
+        assert sim._dead <= PURGE_THRESHOLD or 2 * sim._dead <= len(sim._queue)
+    assert sim.next_event_time() is None
+    assert len(sim._queue) == 0 and sim.pending_count() == 0
 
 
 def test_max_events_counts_fired_events_only():

@@ -1,0 +1,226 @@
+"""Timer-wheel backend: tier mechanics plus heap-equivalence by construction.
+
+`test_engine.py` holds both backends to the engine contract; this module
+covers what is specific to the wheel — slot binning, the overflow tier,
+cursor jumps over idle stretches, slot reclamation — and then drives both
+backends through randomized schedule/cancel/re-arm programs asserting the
+execution histories are *identical*, which is the property the golden-trace
+equivalence suite pins at farm scale.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (
+    WHEEL_GRANULARITY,
+    WHEEL_SLOTS,
+    Simulator,
+    _WheelBackend,
+    default_backend,
+)
+
+HORIZON = WHEEL_GRANULARITY * WHEEL_SLOTS  # 64 s
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def test_explicit_backend_param_wins_over_env(monkeypatch):
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "heap")
+    assert Simulator(backend="wheel").backend == "wheel"
+    assert Simulator().backend == "heap"
+
+
+def test_default_backend_is_wheel_and_env_is_validated(monkeypatch):
+    monkeypatch.delenv("GULFSTREAM_SIM_BACKEND", raising=False)
+    assert default_backend() == "wheel"
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "HEAP ")
+    assert default_backend() == "heap"
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "calendar")
+    assert default_backend() == "wheel"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        Simulator(backend="btree")
+
+
+def test_wheel_backend_parameter_validation():
+    with pytest.raises(ValueError):
+        _WheelBackend(granularity=0.0)
+    with pytest.raises(ValueError):
+        _WheelBackend(nslots=100)  # not a power of two
+
+
+# ----------------------------------------------------------------------
+# tier mechanics
+# ----------------------------------------------------------------------
+def test_overflow_tier_interleaves_with_wheel_slots():
+    """Events beyond the 64 s horizon start in the overflow heap and still
+    fire in global time order against near-term slot entries."""
+    sim = Simulator(backend="wheel")
+    fired = []
+    sim.schedule(HORIZON * 3 + 0.1, fired.append, "far")
+    sim.schedule(0.5, fired.append, "near")
+    sim.schedule(HORIZON + 0.25, fired.append, "mid")
+    assert len(sim._backend.overflow) == 2
+    sim.run()
+    assert fired == ["near", "mid", "far"]
+
+
+def test_cursor_jumps_over_idle_gaps():
+    """An empty wheel jumps the cursor to the overflow's next tick instead
+    of stepping through every intervening slot."""
+    sim = Simulator(backend="wheel")
+    fired = []
+    sim.schedule(10_000.0, fired.append, "lone")
+    assert sim.next_event_time() == 10_000.0
+    backend = sim._backend
+    # the peek poured the overflow entry; the cursor jumped straight to its
+    # tick rather than advancing 640k slots one by one
+    assert backend.cur_tick == int(10_000.0 / WHEEL_GRANULARITY)
+    sim.run()
+    assert fired == ["lone"] and sim.now == 10_000.0
+
+
+def test_same_tick_events_keep_sub_granularity_time_order():
+    """Multiple events binned into one slot still fire by exact time."""
+    sim = Simulator(backend="wheel")
+    fired = []
+    # all three land in the same 1/64 s slot, out of order
+    base = 2.0
+    sim.schedule(base + WHEEL_GRANULARITY * 0.7, fired.append, "c")
+    sim.schedule(base + WHEEL_GRANULARITY * 0.1, fired.append, "a")
+    sim.schedule(base + WHEEL_GRANULARITY * 0.4, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_inflow_handles_scheduling_behind_the_poured_slot():
+    """A handler scheduling a sub-slot follow-up (delay smaller than the
+    granularity) lands behind the cursor and must still fire, in order."""
+    sim = Simulator(backend="wheel")
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1e-6, fired.append, "follow-up")
+        sim.schedule(0.0, fired.append, "now")
+
+    sim.schedule(1.0, first)
+    sim.schedule(1.0 + WHEEL_GRANULARITY / 2, fired.append, "same-slot-later")
+    sim.run()
+    assert fired == ["first", "now", "follow-up", "same-slot-later"]
+
+
+def test_slot_reclamation_purges_all_tiers():
+    """purge() drops cancelled entries from the run, slots, and overflow."""
+    sim = Simulator(backend="wheel")
+    backend = sim._backend
+    near = [sim.schedule(1.0 + i * 0.1, lambda: None) for i in range(40)]
+    far = [sim.schedule(HORIZON + 10.0 + i, lambda: None) for i in range(40)]
+    inflow = [sim.schedule(0.0, lambda: None) for i in range(40)]
+    for ev in near + far + inflow:
+        ev.cancel()
+    assert backend.dead == 120
+    backend.purge()
+    assert backend.dead == 0 and len(backend) == 0
+    assert backend.wheel_count == 0 and not backend.overflow
+    keeper = sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert keeper.fired and sim.now == 2.0
+
+
+def test_wheel_len_and_queue_property_count_every_tier():
+    sim = Simulator(backend="wheel")
+    sim.schedule(0.0, lambda: None)          # inflow
+    sim.schedule(1.0, lambda: None)          # slot
+    sim.schedule(HORIZON * 2, lambda: None)  # overflow
+    assert len(sim._backend) == 3
+    assert len(sim._queue) == 3
+    sim.run(until=1.5)
+    assert len(sim._queue) == 1
+
+
+# ----------------------------------------------------------------------
+# differential: heap and wheel replay identical histories
+# ----------------------------------------------------------------------
+# delays chosen to collide on exact instants and straddle slot and horizon
+# boundaries (0, sub-slot, slot-edge, horizon-edge, beyond-horizon)
+_POOL = [
+    0.0,
+    1e-6,
+    WHEEL_GRANULARITY / 2,
+    WHEEL_GRANULARITY,
+    0.5,
+    1.0,
+    1.0,
+    HORIZON - WHEEL_GRANULARITY,
+    HORIZON,
+    HORIZON + 0.25,
+    HORIZON * 3,
+]
+
+_op = st.tuples(
+    st.sampled_from(_POOL) | st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.integers(min_value=0, max_value=2),            # priority
+    st.booleans(),                                    # cancel before running
+    st.none() | st.sampled_from(_POOL),               # in-handler respawn delay
+)
+
+
+def _replay(backend, program):
+    sim = Simulator(backend=backend)
+    log = []
+
+    def fire(tag, respawn):
+        log.append((sim.now, tag))
+        if respawn is not None:
+            sim.schedule(respawn, fire, tag + 10_000, None)
+
+    scheduled = []
+    for i, (delay, priority, cancel, respawn) in enumerate(program):
+        scheduled.append((sim.schedule(delay, fire, i, respawn, priority=priority), cancel))
+    for ev, cancel in scheduled:
+        if cancel:
+            ev.cancel()
+    sim.run()
+    return log, sim.events_executed, sim.now
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=50))
+def test_differential_same_history_on_both_backends(program):
+    assert _replay("heap", program) == _replay("wheel", program)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.sampled_from(_POOL), min_size=1, max_size=12),
+    st.integers(min_value=2, max_value=40),
+)
+def test_differential_periodic_rearm_same_history(periods, rounds):
+    """reschedule()-driven periodic timers replay identically: re-armed
+    events take fresh sequence numbers on both backends, so same-instant
+    FIFO among recycled and fresh events matches."""
+
+    def replay(backend):
+        sim = Simulator(backend=backend)
+        log = []
+        remaining = {}
+
+        def tick(idx):
+            log.append((sim.now, idx))
+            if remaining[idx] > 0:
+                remaining[idx] -= 1
+                sim.reschedule(events[idx], periods[idx] + 1e-6)
+
+        events = []
+        for idx, _period in enumerate(periods):
+            remaining[idx] = rounds
+            events.append(sim.schedule(1e-6, tick, idx))
+        sim.run()
+        return log, sim.events_executed
+
+    assert replay("heap") == replay("wheel")
