@@ -22,9 +22,14 @@ Metric direction is inferred from the key:
 
 Wall-clock metrics get a wider band than rate metrics because trajectory
 points come from heterogeneous machines (dev boxes, CI runners). The
-CPU-bound ``speedup`` metric is skipped entirely when either the recording
-host or the checking host has fewer than 4 cores — a 1-core runner measures
-~1x regardless of dispatcher quality, so the number carries no signal there.
+CPU-bound metrics (``speedup`` — parallel sweep dispatch — and
+``shard_speedup`` — sharded vs single-process simulation) are skipped
+entirely when either the recording host or the checking host has fewer
+than 4 cores — a 1-core runner measures ~1x regardless of dispatcher or
+shard quality, so the number carries no signal there. The sharded scale
+metrics classify by the usual substrings: ``sharded_delivery_rate_*``
+gates upward, ``sharded_peak_rss_mb_*`` (children + parent RSS) gates
+downward, and the ``shards`` configuration echo is informational.
 """
 
 from __future__ import annotations
@@ -55,10 +60,11 @@ _INFO_KEYS = {
     "cold_misses",
     "steady_hour16_events",
     "suite_wallclock_s",
+    "shards",
 }
 
 #: metrics only meaningful with real parallel silicon underneath
-_CPU_BOUND_KEYS = {"speedup"}
+_CPU_BOUND_KEYS = {"speedup", "shard_speedup"}
 _MIN_CPUS_FOR_CPU_BOUND = 4
 
 

@@ -45,6 +45,16 @@ from repro.gulfstream.params import GSParams
 __all__ = ["main", "build_parser"]
 
 
+def _shards_value(text: str):
+    """``--shards`` argument: ``auto`` or a positive worker count."""
+    from repro.sim.shard import validate_shards
+
+    try:
+        return validate_shards(int(text) if text.strip().lstrip("+-").isdigit() else text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _csv_ints(text: str) -> List[int]:
     return [int(x) for x in text.split(",") if x]
 
@@ -163,6 +173,38 @@ def _detector_point(scheme: str, members: int, seed: int) -> dict:
 # subcommands
 # ----------------------------------------------------------------------
 def cmd_discover(args) -> int:
+    if args.shards is not None and args.replicates > 1:
+        print("--shards shards one simulation; it cannot be combined with "
+              "--replicates (shard the points' simulators with "
+              "GULFSTREAM_SHARDS instead)", file=sys.stderr)
+        return 2
+    if args.shards is not None:
+        from repro.farm import build_testbed
+        from repro.sim.shard import run_sharded
+
+        params = GSParams(beacon_duration=args.beacon)
+        result = run_sharded(
+            build_testbed,
+            dict(n_nodes=args.nodes, seed=args.seed, params=params,
+                 adapters_per_node=args.adapters),
+            duration=args.timeout,
+            stability_timeout=args.timeout,
+            shards=args.shards,
+            stop_when_stable=True,
+            trace_store=False,
+        )
+        _export_metrics(args, result.metrics)
+        if result.stable_time is None:
+            print(f"discovery did not stabilize within {args.timeout}s", file=sys.stderr)
+            return 1
+        configured = (params.beacon_duration + params.amg_stable_wait
+                      + params.gsc_stable_wait)
+        print(f"stable in {result.stable_time:.2f}s (configured {configured:.0f}s, "
+              f"delta {result.stable_time - configured:.2f}s)")
+        print(f"sharded: {result.n_islands} island(s) on {result.shards} worker(s), "
+              f"lookahead {result.lookahead * 1000:.1f}ms, "
+              f"{result.cross_messages} cross-shard messages")
+        return 0
     if args.replicates > 1:
         registry = _sweep_registry(args)
         rows = run_grid(
@@ -441,6 +483,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="pending-event structure for every simulator in this run, "
              "including sweep workers (default: wheel). The backends are "
              "observationally identical; see docs/PROTOCOL.md §8")
+    common.add_argument(
+        "--shards", type=_shards_value, default=None, metavar="N",
+        help="shard the simulation across N worker processes at VLAN-island "
+             "granularity ('auto' = one per island; 1 = same pipeline, "
+             "in-process). Results are byte-identical for every value; see "
+             "docs/PROTOCOL.md §9. Currently supported by 'discover' "
+             "(without --replicates)")
     parser = argparse.ArgumentParser(
         prog="gulfstream-sim",
         description="GulfStream (CLUSTER 2001) reproduction — scenario runner",
@@ -515,6 +564,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # built anywhere in this run — including ones constructed inside
         # spawned sweep workers, which inherit the environment — sees it
         os.environ["GULFSTREAM_SIM_BACKEND"] = args.sim_backend
+    if getattr(args, "shards", None) is not None:
+        if args.fn is not cmd_discover:
+            print(f"--shards is not supported by '{args.command}' "
+                  "(sharded execution currently drives 'discover'; the other "
+                  "commands run one simulator)", file=sys.stderr)
+            return 2
+        # recorded in the environment so the result cache keys on it
+        os.environ["GULFSTREAM_SHARDS"] = str(args.shards)
     try:
         return args.fn(args)
     except BrokenPipeError:  # e.g. `gulfstream-sim metrics x.jsonl | head`

@@ -9,7 +9,7 @@ traffic totals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 from repro.farm.builder import Farm
 from repro.node.faults import FaultInjector, FaultPlan
@@ -44,16 +44,24 @@ class Scenario:
 
     def __init__(
         self,
-        farm: Farm,
+        farm: Optional[Farm] = None,
         plan: Optional[FaultPlan] = None,
         churn: Optional[dict] = None,
         duration: float = 120.0,
         ambient_load: Optional[Dict[int, float]] = None,
         stability_timeout: Optional[float] = None,
+        shards: Optional[Union[int, str]] = None,
+        farm_factory: Optional[Callable[..., Farm]] = None,
+        factory_kwargs: Optional[Dict[str, Any]] = None,
+        cut_vlans: Optional[Sequence[int]] = None,
     ) -> None:
         """
         Parameters
         ----------
+        farm:
+            A built farm (the classic single-simulator path). Mutually
+            exclusive with sharded execution, which must rebuild the farm
+            per island and therefore takes ``farm_factory`` instead.
         plan:
             Scripted faults, armed before the run.
         churn:
@@ -68,7 +76,37 @@ class Scenario:
             How long (simulated seconds) to wait for the initial
             discovery to stabilize before running the body of the
             scenario. Default: ``min(duration, 300.0)``.
+        shards:
+            ``None`` (default) runs the classic path on ``farm``.
+            Anything else — a positive worker count or ``"auto"`` (one
+            worker per VLAN island) — dispatches to
+            :func:`repro.sim.shard.run_sharded` and requires
+            ``farm_factory``; the run then returns a
+            ``ShardedScenarioResult``.
+        farm_factory / factory_kwargs:
+            Module-level farm factory (e.g.
+            :func:`~repro.farm.builder.build_farm`) and its keyword
+            arguments; sharded workers re-run it per island. The factory
+            must accept a ``trace=`` keyword.
+        cut_vlans:
+            VLANs treated as the cross-shard cut (default: the admin
+            VLAN). Only meaningful with ``shards``.
         """
+        if shards is not None:
+            from repro.sim.shard import validate_shards
+
+            validate_shards(shards)
+            if farm_factory is None:
+                raise ValueError(
+                    "Scenario(shards=...) needs farm_factory: sharded execution "
+                    "rebuilds the farm per island, so a pre-built farm cannot be used"
+                )
+            if farm is not None:
+                raise ValueError("Scenario(shards=...): pass farm_factory, not a built farm")
+        elif farm is None:
+            raise ValueError("Scenario() needs a built farm (or shards= with farm_factory=)")
+        elif farm_factory is not None or factory_kwargs is not None:
+            raise ValueError("Scenario(farm_factory=...) is only meaningful with shards=")
         self.farm = farm
         self.plan = plan
         self.churn_cfg = churn
@@ -78,10 +116,29 @@ class Scenario:
             stability_timeout if stability_timeout is not None
             else min(duration, 300.0)
         )
+        self.shards = shards
+        self.farm_factory = farm_factory
+        self.factory_kwargs = dict(factory_kwargs or {})
+        self.cut_vlans = cut_vlans
         self.injector: Optional[FaultInjector] = None
 
     def run(self) -> ScenarioResult:
+        if self.shards is not None:
+            from repro.sim.shard import run_sharded
+
+            return run_sharded(
+                self.farm_factory,
+                self.factory_kwargs,
+                plan=self.plan,
+                churn=self.churn_cfg,
+                duration=self.duration,
+                ambient_load=self.ambient_load,
+                stability_timeout=self.stability_timeout,
+                shards=self.shards,
+                cut_vlans=self.cut_vlans,
+            )
         farm = self.farm
+        assert farm is not None
         sim = farm.sim
         for vlan, load in self.ambient_load.items():
             farm.fabric.segment(vlan).ambient_load = load

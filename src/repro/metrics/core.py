@@ -339,6 +339,71 @@ class MetricsRegistry:
         return snap
 
     # ------------------------------------------------------------------
+    # picklable transport (sharded workers ship dumps, not registries)
+    # ------------------------------------------------------------------
+    def dump(self) -> List[Dict[str, Any]]:
+        """Collect, then export every instrument as a plain-data record.
+
+        The record list is picklable and registry-free — it is what a
+        sharded worker sends back over the pipe (instruments hold closures
+        via collectors, so registries themselves cannot travel). Order is
+        the registry's iteration order (sorted by key), so the dump is
+        deterministic. Rebuild with :meth:`from_dump`; combine replicate
+        or shard dumps with :meth:`merge_dumps`.
+        """
+        self.collect()
+        out: List[Dict[str, Any]] = []
+        for metric in self:
+            record: Dict[str, Any] = {
+                "kind": metric.kind,
+                "name": metric.name,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                record["bounds"] = list(metric.bounds)
+                record["bucket_counts"] = list(metric.bucket_counts)
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["min"] = metric.min
+                record["max"] = metric.max
+            elif isinstance(metric, (Counter, Gauge)):
+                record["value"] = metric.value
+            out.append(record)
+        return out
+
+    @staticmethod
+    def from_dump(dump: Sequence[Dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a clock-less registry from a :meth:`dump` record list."""
+        reg = MetricsRegistry()
+        for record in dump:
+            kind = record["kind"]
+            name = record["name"]
+            labels: Dict[str, Any] = record["labels"]
+            if kind == "counter":
+                reg.counter(name, **labels).inc(record["value"])
+            elif kind == "gauge":
+                reg.gauge(name, **labels).set(record["value"])
+            elif kind == "histogram":
+                hist = reg.histogram(name, buckets=record["bounds"], **labels)
+                hist.bucket_counts = list(record["bucket_counts"])
+                hist.count = record["count"]
+                hist.sum = record["sum"]
+                hist.min = record["min"]
+                hist.max = record["max"]
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} in dump")
+        return reg
+
+    @staticmethod
+    def merge_dumps(dumps: Sequence[Sequence[Dict[str, Any]]]) -> "MetricsRegistry":
+        """Rebuild every dump and combine them via :meth:`merged` (counters
+        and histogram buckets add, gauges average). The sharded coordinator
+        uses this, so merged outputs are shard-count-invariant: the dumps
+        are keyed data, not positional, and :meth:`merged` folds them the
+        same way regardless of how the instruments were distributed."""
+        return MetricsRegistry.merged([MetricsRegistry.from_dump(d) for d in dumps])
+
+    # ------------------------------------------------------------------
     # merging (replicate registries from independent runs)
     # ------------------------------------------------------------------
     @staticmethod

@@ -73,9 +73,14 @@ class ResultCache:
     """Content-addressed store of task results under one directory.
 
     Entries are ``<root>/<key>.json`` where ``key`` is a SHA-256 over the
-    canonical JSON of ``{experiment, kwargs, fingerprint}``. ``hits`` /
-    ``misses`` / ``stores`` count this instance's traffic so benches can
-    report a hit rate.
+    canonical JSON of ``{experiment, kwargs, fingerprint, ambient}`` —
+    ``ambient`` being the execution parameters that reach tasks through
+    the environment rather than through kwargs (the resolved simulator
+    backend and the ``GULFSTREAM_SHARDS`` setting), so a run with
+    ``--sim-backend heap`` or ``--shards 4`` can never replay an entry
+    computed under different execution parameters. ``hits`` / ``misses``
+    / ``stores`` count this instance's traffic so benches can report a
+    hit rate.
     """
 
     def __init__(
@@ -91,11 +96,18 @@ class ResultCache:
 
     # -- keys ----------------------------------------------------------
     def key(self, experiment: str, kwargs: Mapping[str, Any]) -> str:
+        from repro.sim.engine import default_backend
+
         payload = canonical_json(
             {
                 "experiment": experiment,
                 "kwargs": dict(kwargs),
                 "fingerprint": self.fingerprint,
+                # environment-carried execution parameters (see class doc)
+                "ambient": {
+                    "sim_backend": default_backend(),
+                    "shards": os.environ.get("GULFSTREAM_SHARDS"),
+                },
             }
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

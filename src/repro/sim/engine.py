@@ -86,10 +86,29 @@ _Entry = Tuple[float, int, int, "Event"]
 
 
 def default_backend() -> str:
-    """Backend used when ``Simulator(backend=None)``: the
-    ``GULFSTREAM_SIM_BACKEND`` environment variable, or ``"wheel"``."""
+    """Resolve the event-queue backend. **This is the single source of
+    truth for the resolution order**, used by the CLI, the scenario layer,
+    and the result cache alike:
+
+    1. an explicit ``Simulator(backend=...)`` argument always wins and
+       never consults the environment;
+    2. otherwise the ``GULFSTREAM_SIM_BACKEND`` environment variable
+       (the CLI's ``--sim-backend`` flag exports it, so child worker
+       processes inherit the choice);
+    3. otherwise ``"wheel"``.
+
+    An unknown non-empty environment value is an error, not a silent
+    fallback — a typo like ``GULFSTREAM_SIM_BACKEND=whee`` would
+    otherwise invisibly change which code path a benchmark measures.
+    """
     env = os.environ.get("GULFSTREAM_SIM_BACKEND", "").strip().lower()
-    return env if env in ("heap", "wheel") else "wheel"
+    if not env:
+        return "wheel"
+    if env in ("heap", "wheel"):
+        return env
+    raise ValueError(
+        f"GULFSTREAM_SIM_BACKEND={env!r} is not a valid backend (want 'heap' or 'wheel')"
+    )
 
 
 class SimulationError(RuntimeError):
@@ -441,6 +460,12 @@ class Simulator:
         :func:`default_backend` (the ``GULFSTREAM_SIM_BACKEND`` environment
         variable, else the wheel). Both backends replay byte-identical
         histories; the choice is purely a performance trade.
+    shards:
+        Accepted for API symmetry with the scenario layer: a single
+        ``Simulator`` is always one shard. ``None`` or ``1`` are the only
+        valid values — sharded execution partitions a run across *several*
+        simulators and lives in :mod:`repro.sim.shard` (see
+        ``Scenario(shards=...)`` / ``run_sharded``).
     """
 
     def __init__(
@@ -449,7 +474,14 @@ class Simulator:
         trace: Optional[Trace] = None,
         metrics: Optional[MetricsRegistry] = None,
         backend: Optional[str] = None,
+        shards: Optional[int] = None,
     ) -> None:
+        if shards not in (None, 1):
+            raise SimulationError(
+                f"Simulator(shards={shards!r}): a Simulator is always a single shard; "
+                "use Scenario(shards=...) or repro.sim.shard.run_sharded for "
+                "multi-shard execution"
+            )
         self.now: float = 0.0
         self.backend = backend if backend is not None else default_backend()
         self._backend = _make_backend(self.backend)

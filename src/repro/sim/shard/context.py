@@ -1,0 +1,82 @@
+"""Build-time context for sharded farm construction.
+
+Sharded execution rebuilds the *same* farm once per island, with each
+island worker materializing only the hosts it owns. The contract that
+makes the rebuilds line up bit-for-bit is: the farm factory runs
+**identically** in every worker — same node declarations in the same
+order, consuming the same IP counters and switch round-robin — and only
+the final "materialize this host" step is skipped for nodes owned by
+other islands.
+
+:class:`ShardBuildContext` carries that ownership information. The shard
+runner installs it (via :func:`active`) around the factory call;
+:class:`~repro.farm.builder.FarmBuilder` consults :func:`current` in
+``add_node`` and ``finish``. When no context is active (the normal,
+unsharded path) the builder behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.net.addressing import IPAddress
+
+__all__ = ["NodeRecord", "ShardBuildContext", "active", "current"]
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One node as declared to :meth:`FarmBuilder.add_node`, in order.
+
+    Records are appended for *every* declared node — owned or not — so
+    each island build (and the coordinator's recon pass) sees the same
+    full-farm node list with identical addressing.
+    """
+
+    name: str
+    #: VLANs in adapter order; the first is the administrative adapter
+    vlans: Tuple[int, ...]
+    #: allocated adapter IPs, parallel to ``vlans``
+    ips: Tuple[IPAddress, ...]
+    #: switch every adapter of this node lands on
+    switch: str
+    admin_eligible: bool
+
+
+@dataclass(frozen=True)
+class ShardBuildContext:
+    """Ownership info installed around one island's factory call."""
+
+    island_id: int
+    #: names of the nodes this island materializes
+    owned: frozenset
+    #: full-farm wiring rows (``Fabric.connections()`` shape) captured by
+    #: the coordinator's recon pass; each island's ConfigDatabase is built
+    #: from these so GSC verification sees the whole expected topology
+    configdb_rows: Tuple[Dict[str, Any], ...]
+
+    def owns(self, name: str) -> bool:
+        return name in self.owned
+
+
+_active: Optional[ShardBuildContext] = None
+
+
+def current() -> Optional[ShardBuildContext]:
+    """The context installed by the innermost :func:`active` block, if any."""
+    return _active
+
+
+@contextlib.contextmanager
+def active(ctx: ShardBuildContext) -> Iterator[ShardBuildContext]:
+    """Install ``ctx`` for the duration of a factory call."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("nested shard build contexts are not supported")
+    _active = ctx
+    try:
+        yield ctx
+    finally:
+        _active = None

@@ -1,0 +1,244 @@
+"""Island partition and conservative-lookahead derivation.
+
+The paper's farm topologies partition naturally at VLAN boundaries:
+beacons, heartbeats, and AMG membership traffic never leave their VLAN,
+and only trunk frames plus GSC report traffic cross the administrative
+network. Sharded execution exploits that: nodes sharing any *non-cut*
+VLAN must co-reside in one island (their traffic is intra-process), and
+the cut VLANs — by default just the admin network — become the
+cross-shard channel.
+
+The partition is computed by union-find over the declared node records:
+
+* two nodes sharing a data (non-cut) VLAN are unioned;
+* nodes with *only* cut adapters (the management hub) form one island of
+  their own, so GSC and its standbys stay co-resident;
+* islands are numbered by first-node-declaration order, which makes the
+  numbering — and everything keyed on it downstream — independent of
+  worker count and layout.
+
+Lookahead ``L`` is the conservative synchronization window: a frame that
+crosses the cut during epoch ``(E, E+L]`` is delivered at ``send_time +
+L``, which always lands in a *later* epoch, so no island ever receives
+an event in its past. ``L`` is derived from the minimum transit time of
+any cut segment (``latency - jitter``, the earliest instant the link
+model could deliver), floored at one wheel slot
+(:data:`LOOKAHEAD_FLOOR`) so epochs stay aligned with the scheduler's
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.addressing import IPAddress
+from repro.sim.engine import WHEEL_GRANULARITY
+from repro.sim.shard.context import NodeRecord
+
+__all__ = [
+    "IslandPartition",
+    "LOOKAHEAD_FLOOR",
+    "derive_lookahead",
+    "split_fault_actions",
+]
+
+#: minimum lookahead (s): one timer-wheel slot. Below this the epoch
+#: barrier would outpace the scheduler's own time granularity.
+LOOKAHEAD_FLOOR = WHEEL_GRANULARITY
+
+
+def derive_lookahead(
+    cut_qualities: Mapping[int, Tuple[float, float]],
+    floor: float = LOOKAHEAD_FLOOR,
+) -> float:
+    """Conservative lookahead from the cut segments' link models.
+
+    ``cut_qualities`` maps cut VLAN id -> ``(latency, jitter)``. The
+    earliest a cut link could deliver is ``latency - jitter``; the
+    minimum over all cut segments bounds how far ahead any island can
+    safely run without hearing from its peers. Empty mapping (no
+    populated cut segment — a single-island farm) yields the floor.
+    """
+    best: Optional[float] = None
+    for latency, jitter in cut_qualities.values():
+        transit = latency - jitter
+        if best is None or transit < best:
+            best = transit
+    if best is None:
+        return floor
+    return max(floor, best)
+
+
+@dataclass(frozen=True)
+class IslandPartition:
+    """The island decomposition of one farm, plus routing tables.
+
+    Everything here is a pure function of the declared node records and
+    the cut-VLAN set — identical no matter which process computes it.
+    """
+
+    #: island id -> node names, in declaration order
+    islands: Tuple[Tuple[str, ...], ...]
+    node_island: Dict[str, int]
+    ip_island: Dict[IPAddress, int]
+    cut_vlans: frozenset
+    lookahead: float
+    #: cut vlan -> {member ip -> owning island} for every member of that
+    #: cut segment; islands use this to route cross-cut frames
+    cut_members: Dict[int, Dict[IPAddress, int]]
+    #: vlan -> sorted island ids with at least one member on that vlan
+    vlan_islands: Dict[int, Tuple[int, ...]]
+    #: the full node-record list the partition was computed from
+    records: Tuple[NodeRecord, ...]
+
+    @property
+    def n_islands(self) -> int:
+        return len(self.islands)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[NodeRecord],
+        cut_vlans: frozenset,
+        cut_qualities: Mapping[int, Tuple[float, float]],
+    ) -> "IslandPartition":
+        if not records:
+            raise ValueError("cannot partition an empty farm")
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[rb] = ra
+
+        vlan_first: Dict[int, str] = {}
+        hub_first: Optional[str] = None
+        seen: set = set()
+        for rec in records:
+            if rec.name in seen:
+                raise ValueError(f"duplicate node name {rec.name!r} in farm records")
+            seen.add(rec.name)
+            parent[rec.name] = rec.name
+            data_vlans = [v for v in rec.vlans if v not in cut_vlans]
+            if not data_vlans:
+                # cut-only node: management hub island
+                if hub_first is None:
+                    hub_first = rec.name
+                else:
+                    union(hub_first, rec.name)
+                continue
+            for vlan in data_vlans:
+                first = vlan_first.setdefault(vlan, rec.name)
+                if first != rec.name:
+                    union(first, rec.name)
+
+        # number islands by first declaration of each component
+        island_of_root: Dict[str, int] = {}
+        islands: List[List[str]] = []
+        node_island: Dict[str, int] = {}
+        for rec in records:
+            root = find(rec.name)
+            island = island_of_root.get(root)
+            if island is None:
+                island = island_of_root[root] = len(islands)
+                islands.append([])
+            islands[island].append(rec.name)
+            node_island[rec.name] = island
+
+        ip_island: Dict[IPAddress, int] = {}
+        cut_members: Dict[int, Dict[IPAddress, int]] = {}
+        vlan_island_sets: Dict[int, set] = {}
+        for rec in records:
+            island = node_island[rec.name]
+            for vlan, ip in zip(rec.vlans, rec.ips):
+                ip_island[ip] = island
+                vlan_island_sets.setdefault(vlan, set()).add(island)
+                if vlan in cut_vlans:
+                    cut_members.setdefault(vlan, {})[ip] = island
+
+        lookahead = derive_lookahead(
+            {v: q for v, q in cut_qualities.items() if v in cut_members}
+        )
+        return cls(
+            islands=tuple(tuple(names) for names in islands),
+            node_island=node_island,
+            ip_island=ip_island,
+            cut_vlans=frozenset(cut_vlans),
+            lookahead=lookahead,
+            cut_members=cut_members,
+            vlan_islands={v: tuple(sorted(s)) for v, s in vlan_island_sets.items()},
+            records=tuple(records),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_farm(cls, farm: Any, cut_vlans: Optional[Sequence[int]] = None) -> "IslandPartition":
+        """Partition a built farm (the coordinator's recon pass).
+
+        ``cut_vlans`` defaults to the farm's administrative VLAN — the
+        GSC/report network plus trunk traffic is exactly the cross-shard
+        cut the paper's topology implies.
+        """
+        records = tuple(getattr(farm, "node_records", ()) or ())
+        if not records:
+            raise ValueError(
+                "farm has no node records; sharded execution requires a "
+                "FarmBuilder-constructed farm (see repro.farm.builder)"
+            )
+        if cut_vlans is None:
+            cut = frozenset({farm.admin_vlan})
+        else:
+            cut = frozenset(cut_vlans)
+        qualities: Dict[int, Tuple[float, float]] = {}
+        for vlan in cut:
+            seg = farm.fabric.segments.get(vlan)
+            if seg is not None and seg.members:
+                q = seg.quality
+                qualities[vlan] = (float(q.latency), float(getattr(q, "jitter", 0.0)))
+        return cls.from_records(records, cut, qualities)
+
+
+def split_fault_actions(plan: Any, part: IslandPartition) -> Dict[int, List[Any]]:
+    """Split a :class:`~repro.node.faults.FaultPlan` by owning island.
+
+    * node faults go to the node's island;
+    * adapter faults go to the adapter's island;
+    * switch and router faults go to **every** island (switches and
+      routers are replicated everywhere so connectivity checks agree);
+    * partition/heal go to every island with members on the VLAN.
+
+    Raises ``ValueError`` for targets the partition does not know —
+    silently dropping a fault would fake a healthier farm.
+    """
+    out: Dict[int, List[Any]] = {i: [] for i in range(part.n_islands)}
+    for act in plan.actions:
+        kind = act.kind
+        if kind in ("crash_node", "restart_node"):
+            island = part.node_island.get(act.target)
+            if island is None:
+                raise ValueError(f"fault target {act.target!r} is not a farm node")
+            out[island].append(act)
+        elif kind in ("fail_adapter", "repair_adapter"):
+            island = part.ip_island.get(IPAddress(act.target))
+            if island is None:
+                raise ValueError(f"fault target {act.target!r} is not a farm adapter")
+            out[island].append(act)
+        elif kind in ("fail_switch", "repair_switch", "fail_router", "repair_router"):
+            for island in out:
+                out[island].append(act)
+        elif kind in ("partition", "heal"):
+            for island in part.vlan_islands.get(act.vlan, ()):
+                out[island].append(act)
+        else:
+            raise ValueError(f"fault kind {kind!r} is not supported under sharding")
+    return out

@@ -202,3 +202,28 @@ def test_merged_of_one_is_a_copy():
     merged.counter("c", vlan=10).inc()
     assert one.counter("c", vlan=10).value == 2  # original untouched
     assert not math.isinf(merged.histogram("h", buckets=(1.0, 2.0)).min)
+
+
+def test_dump_roundtrips_every_instrument_kind():
+    """dump() -> from_dump() preserves the full snapshot, including
+    histogram bucket placement — it is the sharded workers' wire format."""
+    reg = _replica(3, 10.0, [0.5, 1.5, 3.0])
+    rebuilt = MetricsRegistry.from_dump(reg.dump())
+    original = {m.key: m.value_dict() for m in reg}
+    assert {m.key: m.value_dict() for m in rebuilt} == original
+
+
+def test_merge_dumps_equals_merged_and_is_order_invariant():
+    a, b = _replica(3, 10.0, [0.5, 1.5]), _replica(4, 20.0, [0.5, 3.0])
+    via_dumps = MetricsRegistry.merge_dumps([a.dump(), b.dump()])
+    via_registries = MetricsRegistry.merged([a, b])
+    snap = {m.key: m.value_dict() for m in via_dumps}
+    assert snap == {m.key: m.value_dict() for m in via_registries}
+    # shard-count invariance hinges on keyed (not positional) folding
+    reversed_snap = MetricsRegistry.merge_dumps([b.dump(), a.dump()])
+    assert {m.key: m.value_dict() for m in reversed_snap} == snap
+
+
+def test_from_dump_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="thermometer"):
+        MetricsRegistry.from_dump([{"kind": "thermometer", "name": "t", "labels": {}}])

@@ -34,6 +34,20 @@ def test_key_covers_experiment_kwargs_and_fingerprint(tmp_path):
     assert a.key("exp", {"n": 5, "m": 1}) == a.key("exp", {"m": 1, "n": 5})
 
 
+def test_key_covers_ambient_backend_and_shards(cache, monkeypatch):
+    """The ambient execution environment is part of a task's identity:
+    the same kwargs under a different engine backend or shard layout must
+    not replay each other's rows."""
+    monkeypatch.delenv("GULFSTREAM_SIM_BACKEND", raising=False)
+    monkeypatch.delenv("GULFSTREAM_SHARDS", raising=False)
+    base = cache.key("exp", {"n": 5})
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "heap")
+    heap = cache.key("exp", {"n": 5})
+    assert heap != base
+    monkeypatch.setenv("GULFSTREAM_SHARDS", "4")
+    assert cache.key("exp", {"n": 5}) not in (base, heap)
+
+
 def test_unserializable_results_are_skipped_not_fatal(cache):
     key = cache.key("exp", {"n": 1})
     assert not cache.put(key, {"obj": object()})

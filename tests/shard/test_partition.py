@@ -1,0 +1,234 @@
+"""Island partitioning and lookahead derivation (PROTOCOL §9).
+
+The partition is the load-bearing invariant of sharded execution: nodes
+sharing any non-cut VLAN must co-reside (their traffic stays
+intra-process), cut-only nodes form the management hub island, and the
+numbering must be a pure function of declaration order so every worker
+layout computes the identical decomposition.
+"""
+
+import pytest
+
+from repro.farm.builder import build_testbed, build_zoned_farm
+from repro.farm.domain import ADMIN_VLAN
+from repro.net.addressing import IPAddress
+from repro.node.faults import FaultPlan
+from repro.sim.shard import (
+    LOOKAHEAD_FLOOR,
+    IslandPartition,
+    NodeRecord,
+    derive_lookahead,
+    split_fault_actions,
+)
+
+CUT = frozenset({1})
+
+
+def rec(name, vlans, base_ip, switch="sw-0", admin=False):
+    """A NodeRecord with one synthetic IP per vlan."""
+    ips = tuple(IPAddress(base_ip + i) for i in range(len(vlans)))
+    return NodeRecord(
+        name=name, vlans=tuple(vlans), ips=ips, switch=switch, admin_eligible=admin
+    )
+
+
+# ----------------------------------------------------------------------
+# union-find over synthetic records
+# ----------------------------------------------------------------------
+def test_disjoint_data_vlans_split_and_cut_only_nodes_form_hub():
+    records = [
+        rec("mgmt-0", [1], 0x0A010001, admin=True),
+        rec("mgmt-1", [1], 0x0A010002, admin=True),
+        rec("a0", [1, 20], 0x0A140001),
+        rec("a1", [1, 20], 0x0A140003),
+        rec("b0", [1, 30], 0x0A1E0001),
+        rec("b1", [1, 30], 0x0A1E0003),
+    ]
+    part = IslandPartition.from_records(records, CUT, {})
+    assert part.n_islands == 3
+    assert part.islands == (("mgmt-0", "mgmt-1"), ("a0", "a1"), ("b0", "b1"))
+    # numbering follows first declaration: the hub declares first here
+    assert part.node_island == {
+        "mgmt-0": 0, "mgmt-1": 0, "a0": 1, "a1": 1, "b0": 2, "b1": 2,
+    }
+
+
+def test_trunked_multi_vlan_node_bridges_islands():
+    """A node on two data VLANs unions both groups into one island — its
+    traffic reaches both sides without crossing the cut."""
+    records = [
+        rec("a0", [1, 20], 0x0A140001),
+        rec("b0", [1, 30], 0x0A1E0001),
+        rec("bridge", [1, 20, 30], 0x0A000001),
+    ]
+    part = IslandPartition.from_records(records, CUT, {})
+    assert part.n_islands == 1
+    assert part.islands == (("a0", "b0", "bridge"),)
+
+
+def test_same_vlan_across_switches_stays_one_island():
+    """Nodes of one VLAN spread over several switches (the paper's
+    partitioned-switch case) still co-reside: trunked segments deliver
+    intra-VLAN frames across switches, so splitting them would sever
+    intra-process traffic."""
+    records = [
+        rec("n0", [1, 20], 0x0A140001, switch="sw-0"),
+        rec("n1", [1, 20], 0x0A140003, switch="sw-1"),
+        rec("n2", [1, 20], 0x0A140005, switch="sw-2"),
+    ]
+    part = IslandPartition.from_records(records, CUT, {})
+    assert part.n_islands == 1
+
+
+def test_routing_tables_cover_every_adapter():
+    records = [
+        rec("mgmt-0", [1], 0x0A010001, admin=True),
+        rec("a0", [1, 20], 0x0A140001),
+        rec("b0", [1, 30], 0x0A1E0001),
+    ]
+    part = IslandPartition.from_records(records, CUT, {})
+    assert part.ip_island[IPAddress(0x0A140002)] == 1  # a0's data adapter
+    assert part.ip_island[IPAddress(0x0A1E0002)] == 2
+    # the cut table maps every admin adapter to its owner
+    assert part.cut_members == {
+        1: {
+            IPAddress(0x0A010001): 0,
+            IPAddress(0x0A140001): 1,
+            IPAddress(0x0A1E0001): 2,
+        }
+    }
+    assert part.vlan_islands[1] == (0, 1, 2)
+    assert part.vlan_islands[20] == (1,)
+
+
+def test_custom_cut_vlans_change_the_partition():
+    """Declaring a data VLAN part of the cut splits what it used to join."""
+    records = [
+        rec("a0", [1, 20], 0x0A140001),
+        rec("b0", [1, 20, 30], 0x0A1E0001),
+    ]
+    joined = IslandPartition.from_records(records, CUT, {})
+    assert joined.n_islands == 1
+    split = IslandPartition.from_records(records, frozenset({1, 20}), {})
+    assert split.n_islands == 2
+
+
+def test_duplicate_node_name_rejected():
+    records = [rec("a0", [1, 20], 0x0A140001), rec("a0", [1, 20], 0x0A140003)]
+    with pytest.raises(ValueError, match="duplicate"):
+        IslandPartition.from_records(records, CUT, {})
+
+
+def test_empty_farm_rejected():
+    with pytest.raises(ValueError, match="empty"):
+        IslandPartition.from_records([], CUT, {})
+
+
+# ----------------------------------------------------------------------
+# built farms
+# ----------------------------------------------------------------------
+def test_zoned_farm_partitions_into_zones_plus_hub():
+    farm = build_zoned_farm(3, 2, seed=5)
+    part = IslandPartition.from_farm(farm)
+    assert part.cut_vlans == frozenset({farm.admin_vlan})
+    # mgmt hub (declared first) + one island per zone
+    assert part.n_islands == 4
+    assert part.islands[0] == ("mgmt-0", "mgmt-1")
+    assert part.islands[1] == ("z0-n0", "z0-n1")
+    # identical on a rebuild: the partition is a pure function of the spec
+    assert IslandPartition.from_farm(build_zoned_farm(3, 2, seed=5)) == part
+
+
+def test_testbed_is_one_island():
+    """Every testbed node shares every data VLAN: nothing to shard."""
+    part = IslandPartition.from_farm(build_testbed(6, seed=1))
+    assert part.n_islands == 1
+
+
+def test_from_farm_requires_builder_records():
+    farm = build_testbed(2, seed=1)
+    farm.node_records = ()
+    with pytest.raises(ValueError, match="node records"):
+        IslandPartition.from_farm(farm)
+
+
+# ----------------------------------------------------------------------
+# lookahead
+# ----------------------------------------------------------------------
+def test_lookahead_floors_at_one_wheel_slot():
+    assert derive_lookahead({}) == LOOKAHEAD_FLOOR
+    # default admin link: sub-slot transit floors out
+    assert derive_lookahead({1: (0.0002, 0.00005)}) == LOOKAHEAD_FLOOR
+
+
+def test_lookahead_tracks_slowest_safe_bound():
+    """L = min over cut segments of (latency - jitter), when above floor."""
+    assert derive_lookahead({1: (0.5, 0.1), 7: (0.25, 0.05)}) == pytest.approx(0.2)
+
+
+def test_zoned_farm_lookahead_is_floor():
+    part = IslandPartition.from_farm(build_zoned_farm(2, 2, seed=0))
+    assert part.lookahead == LOOKAHEAD_FLOOR
+
+
+# ----------------------------------------------------------------------
+# fault-plan splitting
+# ----------------------------------------------------------------------
+def _zoned_partition():
+    return IslandPartition.from_farm(build_zoned_farm(2, 2, seed=3))
+
+
+def test_split_routes_node_and_adapter_faults_to_owners():
+    part = _zoned_partition()
+    admin_ip = next(
+        str(r.ips[0]) for r in part.records if r.name == "z1-n0"
+    )
+    plan = (
+        FaultPlan()
+        .crash_node(5.0, "z0-n1")
+        .restart_node(9.0, "z0-n1")
+        .fail_adapter(6.0, admin_ip)
+    )
+    split = split_fault_actions(plan, part)
+    assert [a.kind for a in split[1]] == ["crash_node", "restart_node"]
+    assert [a.kind for a in split[2]] == ["fail_adapter"]
+    assert split[0] == []
+
+
+def test_split_broadcasts_switch_faults_and_scopes_partitions():
+    part = _zoned_partition()
+    zone_vlan = 20  # zone 0's first data VLAN
+    plan = (
+        FaultPlan()
+        .fail_switch(4.0, "sw-0")
+        .partition(6.0, zone_vlan, [["z0-n0"], ["z0-n1"]])
+        .heal(9.0, zone_vlan)
+    )
+    split = split_fault_actions(plan, part)
+    # switches are replicated everywhere, so every island sees the fault
+    assert all("fail_switch" in [a.kind for a in acts] for acts in split.values())
+    # the partition/heal reach only the islands with members on that VLAN
+    assert [a.kind for a in split[1] if a.vlan == zone_vlan] == ["partition", "heal"]
+    assert all(a.vlan != zone_vlan for a in split[0])
+    assert all(a.vlan != zone_vlan for a in split[2])
+
+
+def test_split_rejects_unknown_targets_loudly():
+    part = _zoned_partition()
+    with pytest.raises(ValueError, match="not a farm node"):
+        split_fault_actions(FaultPlan().crash_node(1.0, "ghost"), part)
+    with pytest.raises(ValueError, match="not a farm adapter"):
+        split_fault_actions(FaultPlan().fail_adapter(1.0, "203.0.113.9"), part)
+
+
+def test_split_rejects_unsupported_kinds():
+    part = _zoned_partition()
+    plan = FaultPlan().crash_node(1.0, "z0-n0")
+    plan.actions[0].kind = "meteor_strike"
+    with pytest.raises(ValueError, match="meteor_strike"):
+        split_fault_actions(plan, part)
+
+
+def test_admin_vlan_constant_matches_default_cut():
+    part = _zoned_partition()
+    assert part.cut_vlans == frozenset({ADMIN_VLAN})

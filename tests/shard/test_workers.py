@@ -1,0 +1,74 @@
+"""PersistentWorkerPool: spawn/inline parity and failure propagation.
+
+The pool's contract is that ``inline=True`` is *behaviourally identical*
+to the spawn pool — including pickle round-trips of every payload and
+result — so a shards=1 run exercises the exact serialization surface the
+multi-process layout does.
+"""
+
+import pytest
+
+from repro.runner.workers import PersistentWorkerPool, WorkerError
+
+
+class Tally:
+    """Tiny stateful worker: accumulates, echoes, or raises on demand."""
+
+    def __init__(self, start):
+        self.total = start
+        self.log = []
+
+    def add(self, payload):
+        self.total += payload["n"]
+        # mutating the payload must never leak back to the coordinator
+        payload["n"] = -999
+        return {"total": self.total}
+
+    def boom(self, payload):
+        raise RuntimeError(f"worker exploded on {payload!r}")
+
+
+def _make(start):
+    return Tally(start)
+
+
+@pytest.fixture(params=[True, False], ids=["inline", "spawn"])
+def pool(request):
+    p = PersistentWorkerPool(_make, [10, 20], inline=request.param)
+    yield p
+    p.terminate()
+
+
+def test_state_persists_across_calls_and_workers_are_independent(pool):
+    assert pool.call(0, "add", {"n": 1}) == {"total": 11}
+    assert pool.call(0, "add", {"n": 1}) == {"total": 12}
+    assert pool.call(1, "add", {"n": 5}) == {"total": 25}
+
+
+def test_call_all_fans_out_in_worker_order(pool):
+    replies = pool.call_all("add", [{"n": 2}, {"n": 3}])
+    assert replies == [{"total": 12}, {"total": 23}]
+
+
+def test_payload_mutation_in_worker_does_not_leak(pool):
+    payload = {"n": 7}
+    pool.call(0, "add", payload)
+    assert payload == {"n": 7}
+
+
+def test_worker_exception_surfaces_as_workererror(pool):
+    with pytest.raises(WorkerError, match="exploded"):
+        pool.call(0, "boom", {"why": "test"})
+
+
+def test_stop_shape_differs_between_modes():
+    inline = PersistentWorkerPool(_make, [0], inline=True)
+    assert inline.stop() == []  # no children, no stats
+    spawned = PersistentWorkerPool(_make, [0], inline=False)
+    (stats,) = spawned.stop()
+    assert stats is not None and stats["peak_rss_kb"] > 0
+
+
+def test_empty_pool_rejected():
+    with pytest.raises(ValueError):
+        PersistentWorkerPool(_make, [])

@@ -37,8 +37,15 @@ def test_default_backend_is_wheel_and_env_is_validated(monkeypatch):
     assert default_backend() == "wheel"
     monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "HEAP ")
     assert default_backend() == "heap"
-    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "calendar")
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "")
     assert default_backend() == "wheel"
+    # an unknown value is a loud error, not a silent fall-back to the wheel
+    # (a typo would otherwise invisibly change what a benchmark measures)
+    monkeypatch.setenv("GULFSTREAM_SIM_BACKEND", "calendar")
+    with pytest.raises(ValueError, match="calendar"):
+        default_backend()
+    with pytest.raises(ValueError, match="calendar"):
+        Simulator()
 
 
 def test_unknown_backend_rejected():
