@@ -13,7 +13,8 @@ job's teeth, and runs locally the same way::
 
 Metric direction is inferred from the key:
 
-* **higher is better** — ``*_per_sec*``, ``*delivery_rate*``, ``*speedup*``,
+* **higher is better** — ``*_per_sec*``, ``*_per_hour*`` (the traffic
+  plane's moves-sustained capacity), ``*delivery_rate*``, ``*speedup*``,
   ``*hit_rate``;
 * **lower is better** — ``*_s`` wall-clocks, ``*peak_heap*``, ``*peak_rss*``,
   ``us_per_*`` unit costs;
@@ -67,6 +68,15 @@ _INFO_KEYS = {
 _CPU_BOUND_KEYS = {"speedup", "shard_speedup"}
 _MIN_CPUS_FOR_CPU_BOUND = 4
 
+#: absolute floors per trajectory stem — semantic SLOs, not machine speed,
+#: so they gate even the very first recorded point (which has no baseline).
+#: The workload campaign must keep availability through its chaos mix and
+#: the autoscaler must sustain moves with zero invariant violations
+#: (``moves_per_hour`` is zeroed by the report builder on any violation).
+ABS_FLOORS: Dict[str, Dict[str, float]] = {
+    "BENCH_workload": {"availability": 0.9, "moves_per_hour": 1.0},
+}
+
 
 def classify(key: str) -> str:
     """``"higher"`` / ``"lower"`` / ``"info"`` for one metric key."""
@@ -74,7 +84,10 @@ def classify(key: str) -> str:
         # baseline_* keys echo the comparison configuration's absolute
         # rate (machine-dependent); the gated signal is the ratio metric
         return "info"
-    if "_per_sec" in key or "delivery_rate" in key or "speedup" in key or key.endswith("hit_rate"):
+    if (
+        "_per_sec" in key or "_per_hour" in key or "delivery_rate" in key
+        or "speedup" in key or key.endswith("hit_rate")
+    ):
         return "higher"
     if key.endswith("_s") or "peak_heap" in key or "peak_rss" in key or "us_per_" in key:
         return "lower"
@@ -99,12 +112,15 @@ def check_doc(
     tolerance: float = 0.5,
     wall_tolerance: float = 1.5,
     host_cpus: Optional[int] = None,
+    floors: Optional[Dict[str, float]] = None,
 ) -> List[str]:
     """Failure messages for one trajectory document (empty = pass).
 
     ``tolerance`` bands rate-like metrics (fail when latest is worse than
     the baseline by more than this relative fraction); ``wall_tolerance``
-    bands wall-clock metrics, wider because machines differ.
+    bands wall-clock metrics, wider because machines differ. ``floors``
+    maps metric keys to absolute minima that apply regardless of history
+    (see :data:`ABS_FLOORS`).
     """
     if doc.get("schema") != BENCH_SCHEMA:
         return [f"unsupported trajectory schema {doc.get('schema')!r}"]
@@ -112,14 +128,18 @@ def check_doc(
     latest = doc.get("latest")
     if latest is None:
         return ["trajectory has no latest point"]
+    failures: List[str] = []
+    for key, floor in sorted((floors or {}).items()):
+        value = latest.get(key)
+        if isinstance(value, (int, float)) and float(value) < floor:
+            failures.append(f"{key}: {value:g} below the absolute floor {floor:g}")
     # the latest point is appended to history too; baseline = points before it
     prior = history[:-1] if history and history[-1] == latest else history
     if not prior:
-        return []  # first recorded point: nothing to regress from
+        return failures  # first recorded point: nothing to regress from
     if host_cpus is None:
         host_cpus = os.cpu_count() or 1
 
-    failures: List[str] = []
     for key, value in latest.items():
         direction = classify(key)
         if direction == "info" or not isinstance(value, (int, float)):
@@ -164,7 +184,13 @@ def check_file(
         doc = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         return [f"unreadable trajectory: {exc}"]
-    return check_doc(doc, tolerance=tolerance, wall_tolerance=wall_tolerance, host_cpus=host_cpus)
+    return check_doc(
+        doc,
+        tolerance=tolerance,
+        wall_tolerance=wall_tolerance,
+        host_cpus=host_cpus,
+        floors=ABS_FLOORS.get(path.stem),
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -35,6 +35,7 @@ from repro.sim.trace import Trace
 
 __all__ = [
     "CHAOS_PARAMS",
+    "ChaosInjector",
     "MIXES",
     "build_named_farm",
     "build_report",
@@ -390,6 +391,11 @@ class _ChaosInjector:
             for nic in self.farm.hosts[name].adapters:
                 if nic.state is not NicState.OK:
                     nic.repair()
+
+
+#: public name for subclassing (the traffic plane restricts the target
+#: sets to keep chaos inside one shard island — see repro.workload.traffic)
+ChaosInjector = _ChaosInjector
 
 
 # ----------------------------------------------------------------------

@@ -211,9 +211,17 @@ class InvariantMonitor:
         farm: Farm,
         windows: Optional[CheckWindows] = None,
         os_params: Optional[OSParams] = None,
+        vlan_scope: Optional[Set[int]] = None,
     ) -> None:
         self.farm = farm
         self.sim = farm.sim
+        #: when set, invariants are only asserted for adapters on these
+        #: VLANs. A sharded run needs this: a monitor living on one island
+        #: can see ground truth and daemons only for its own island, so it
+        #: must not claim anything about VLANs (admin, dispatch) whose
+        #: membership spans the cut — those look permanently degraded from
+        #: any single island's vantage point.
+        self.vlan_scope = frozenset(vlan_scope) if vlan_scope is not None else None
         self.windows = (
             windows
             if windows is not None
@@ -315,6 +323,8 @@ class InvariantMonitor:
         if gsc is None or gsc.adapter_status(ip) is not True:
             return  # GSC never tracked it up: nothing to detect
         nic = self.farm.fabric.nics.get(ip)
+        if not self._in_scope(nic.port.vlan if nic is not None and nic.port else None):
+            return
         node = nic.node_name if nic is not None else "?"
         self._obligations[ip] = _Obligation(
             ip=ip,
@@ -361,6 +371,10 @@ class InvariantMonitor:
         if configdb is None or nic is None or nic.port is None:
             return
         row = configdb.expected(ip)
+        if not self._in_scope(nic.port.vlan) and not (
+            row is not None and self._in_scope(row.vlan)
+        ):
+            return
         self.checks["verify_topology"] += 1
         if row is not None and nic.port.vlan != row.vlan:
             self._violate(
@@ -373,6 +387,11 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # ground-truth predicates
     # ------------------------------------------------------------------
+    def _in_scope(self, vlan: Optional[int]) -> bool:
+        if self.vlan_scope is None:
+            return True
+        return vlan is not None and vlan in self.vlan_scope
+
     def _segment_disturbed(self, vlan: int) -> bool:
         """Partitioned or lossy: deadlines pause rather than expire."""
         seg = self.farm.fabric.segments.get(vlan)
@@ -435,6 +454,8 @@ class InvariantMonitor:
                 if nic.port is None or not self._healthy(nic):
                     continue
                 vlan = nic.port.vlan
+                if not self._in_scope(vlan):
+                    continue
                 key = (vlan, self._island_of(vlan, nic.ip))
                 leaders.setdefault(key, set()).add(nic.ip)
         self.checks["single_leader"] += len(leaders)
@@ -475,6 +496,8 @@ class InvariantMonitor:
                     continue
                 nic = proto.nic
                 if nic.port is None or not self._healthy(nic):
+                    continue
+                if not self._in_scope(nic.port.vlan):
                     continue
                 self.checks["membership_agreement"] += 1
                 leader_ip = proto.view.leader_ip
@@ -564,6 +587,8 @@ class InvariantMonitor:
             for nic in host.adapters:
                 if nic.state is not NicState.OK or nic.port is None:
                     continue
+                if not self._in_scope(nic.port.vlan):
+                    continue
                 self.checks["no_lost_adapter"] += 1
                 if gsc.adapter_status(nic.ip) is not True:
                     self._violate(
@@ -573,6 +598,11 @@ class InvariantMonitor:
                         f"{gsc.adapter_status(nic.ip)!r} in GSC's table",
                     )
         for ip in sorted(self._deaths, key=int):
+            nic = self.farm.fabric.nics.get(ip)
+            if not self._in_scope(
+                nic.port.vlan if nic is not None and nic.port else None
+            ):
+                continue
             self.checks["no_lost_adapter"] += 1
             if gsc.adapter_status(ip) is True:
                 self._violate(
@@ -583,6 +613,8 @@ class InvariantMonitor:
         if self.farm.configdb is not None:
             self.checks["verify_topology"] += 1
             for issue in gsc.verify_topology():
+                if not self._issue_in_scope(issue.ip):
+                    continue
                 if issue.kind == "missing" and not self._ground_truth_up(issue.ip):
                     # a node left crashed (or an adapter left failed) at
                     # quiescence is *correctly* absent from the discovered
@@ -595,6 +627,17 @@ class InvariantMonitor:
                     f"{issue.kind}: {issue.detail}",
                 )
         return self.violations
+
+    def _issue_in_scope(self, ip: IPAddress) -> bool:
+        """Whether a topology-verification issue concerns a scoped VLAN."""
+        if self.vlan_scope is None:
+            return True
+        nic = self.farm.fabric.nics.get(ip)
+        if nic is not None and nic.port is not None and self._in_scope(nic.port.vlan):
+            return True
+        configdb = self.farm.configdb
+        row = configdb.expected(ip) if configdb is not None else None
+        return row is not None and self._in_scope(row.vlan)
 
     def _ground_truth_up(self, ip: IPAddress) -> bool:
         nic = self.farm.fabric.nics.get(ip)

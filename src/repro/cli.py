@@ -10,6 +10,7 @@ explored without writing Python::
     gulfstream-sim move --domain-size 4
     gulfstream-sim detectors --members 32
     gulfstream-sim serve --rate 100 --event move
+    gulfstream-sim workload --cases 3 --mix mixed --report slo.json
 
 Every command prints a plain-text report; ``--seed`` makes any run exactly
 reproducible, and ``--sim-backend wheel|heap`` selects the simulator's
@@ -410,6 +411,59 @@ def cmd_chaos(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_workload(args) -> int:
+    from repro.checks import MIXES
+    from repro.workload.traffic import (
+        build_traffic_report, render_traffic_report, run_traffic_campaign,
+        write_report,
+    )
+
+    mix = None if args.mix in (None, "none") else args.mix
+    if mix is not None and mix not in MIXES:
+        print(f"unknown mix {args.mix!r}; "
+              f"choose from none, {', '.join(sorted(MIXES))}", file=sys.stderr)
+        return 2
+    if args.jobs != 1 and args.shards is not None and args.shards != 1:
+        print("--jobs parallelizes cases and --shards parallelizes islands "
+              "inside one case; combining them would nest process pools — "
+              "pick one", file=sys.stderr)
+        return 2
+    if args.profile:
+        # the env var (not a kwarg) so spawned sweep/shard workers see it;
+        # the result cache keys on it as ambient state
+        os.environ["GULFSTREAM_WORKLOAD_PROFILE"] = args.profile
+    cache = None
+    if args.cache:
+        from repro.runner import ResultCache
+
+        cache = ResultCache()
+    registry = _sweep_registry(args)
+    rows = run_traffic_campaign(
+        cases=args.cases,
+        jobs=args.jobs,
+        replicates=args.replicates,
+        base_seed=args.seed,
+        cache=cache,
+        metrics=registry,
+        domains=args.domains,
+        front_ends=args.front_ends,
+        back_ends=args.back_ends,
+        spares=args.spares,
+        rate=args.rate,
+        duration=args.duration,
+        n_users=args.users,
+        mix=mix,
+        shards=args.shards if args.shards is not None else 1,
+    )
+    report = build_traffic_report(rows, base_seed=args.seed, mix=mix)
+    if args.report:
+        path = write_report(report, args.report)
+        print(f"report written to {path}", file=sys.stderr)
+    print(render_traffic_report(report))
+    _export_metrics(args, registry)
+    return 0 if report["ok"] else 1
+
+
 def cmd_metrics(args) -> int:
     from repro.metrics import diff_metrics, read_final
 
@@ -468,8 +522,10 @@ def build_parser() -> argparse.ArgumentParser:
              "0 = one per CPU); results are identical for any value")
     common.add_argument(
         "--replicates", type=int, default=1,
-        help="independently-seeded runs per sweep point, averaged with "
-             "*_sd confidence columns (sweep commands only)")
+        help="independently-seeded runs per sweep point — averaged with "
+             "*_sd confidence columns for numeric sweeps; for 'workload' "
+             "each replicate is a whole extra SLO row folded into the "
+             "report")
     common.add_argument(
         "--cache", action="store_true",
         help="replay unchanged sweep points from the on-disk result cache "
@@ -489,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
              "granularity ('auto' = one per island; 1 = same pipeline, "
              "in-process). Results are byte-identical for every value; see "
              "docs/PROTOCOL.md §9. Currently supported by 'discover' "
-             "(without --replicates)")
+             "(without --replicates) and 'workload' (without --jobs)")
     parser = argparse.ArgumentParser(
         prog="gulfstream-sim",
         description="GulfStream (CLUSTER 2001) reproduction — scenario runner",
@@ -547,6 +603,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the machine-readable violations report (JSON)")
     p.set_defaults(fn=cmd_chaos)
 
+    p = sub.add_parser(
+        "workload",
+        help="streamed user-request workload driving live autoscaler moves",
+        parents=[common],
+    )
+    p.add_argument("--cases", type=int, default=3,
+                   help="independently-seeded workload cases (seeded from --seed)")
+    p.add_argument("--domains", type=int, default=2)
+    p.add_argument("--front-ends", type=int, default=1,
+                   help="front ends per domain")
+    p.add_argument("--back-ends", type=int, default=3,
+                   help="back ends per domain")
+    p.add_argument("--spares", type=int, default=2,
+                   help="movable free-pool spares")
+    p.add_argument("--rate", type=float, default=120.0,
+                   help="peak aggregate arrival rate, requests/sec")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="request-stream window per case, simulated seconds")
+    p.add_argument("--users", type=int, default=100_000,
+                   help="simulated user population (Zipf-distributed)")
+    p.add_argument("--mix", default="none",
+                   help="chaos mix to run under the traffic (none, crash, "
+                        "adapters, partition, leader, mixed)")
+    p.add_argument("--profile", choices=["diurnal", "flat", "flash"],
+                   default=None,
+                   help="rate-profile shape (default diurnal; also settable "
+                        "via $GULFSTREAM_WORKLOAD_PROFILE)")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write the machine-readable SLO report (JSON)")
+    p.set_defaults(fn=cmd_workload)
+
     p = sub.add_parser("metrics", help="print one metrics export, or diff two",
                        parents=[common])
     p.add_argument("exports", nargs="+", metavar="EXPORT",
@@ -565,10 +652,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # spawned sweep workers, which inherit the environment — sees it
         os.environ["GULFSTREAM_SIM_BACKEND"] = args.sim_backend
     if getattr(args, "shards", None) is not None:
-        if args.fn is not cmd_discover:
+        if args.fn not in (cmd_discover, cmd_workload):
             print(f"--shards is not supported by '{args.command}' "
-                  "(sharded execution currently drives 'discover'; the other "
-                  "commands run one simulator)", file=sys.stderr)
+                  "(sharded execution currently drives 'discover' and "
+                  "'workload'; the other commands run one simulator)",
+                  file=sys.stderr)
             return 2
         # recorded in the environment so the result cache keys on it
         os.environ["GULFSTREAM_SHARDS"] = str(args.shards)

@@ -15,51 +15,26 @@ through :class:`~repro.gulfstream.reconfig.ReconfigurationManager`.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.farm.builder import FREE_POOL_VLAN, Farm
 from repro.sim.process import Timer
+from repro.workload.profiles import DomainLoadModel
 
 __all__ = ["OceanoController", "SyntheticWorkload"]
 
 
-class SyntheticWorkload:
-    """Per-domain offered load over time.
+class SyntheticWorkload(DomainLoadModel):
+    """Deprecated alias for :class:`repro.workload.profiles.DomainLoadModel`.
 
-    A slow sinusoid per domain (phase-shifted so domains peak at different
-    times) plus optional flash-crowd spikes — the "peak loads that are
-    orders of magnitude larger than the normal steady state" motivating
-    Océano. Deterministic given the seed.
+    The synthetic load curve moved into :mod:`repro.workload` when the
+    traffic plane landed; this shim keeps existing Océano scenarios (and
+    their traces) byte-for-byte unchanged — ``load()`` is numerically
+    identical. New code should import :class:`DomainLoadModel`, which also
+    adapts onto :class:`~repro.workload.generators.RequestStream` via
+    ``as_profile()``/``peak_factor``.
     """
-
-    def __init__(
-        self,
-        domains: List[str],
-        base: float = 100.0,
-        amplitude: float = 80.0,
-        period: float = 120.0,
-        spikes: Optional[Dict[str, tuple]] = None,
-    ) -> None:
-        """``spikes`` maps domain → (start, duration, magnitude)."""
-        self.domains = list(domains)
-        self.base = base
-        self.amplitude = amplitude
-        self.period = period
-        self.spikes = spikes or {}
-
-    def load(self, domain: str, t: float) -> float:
-        """Offered load (requests/sec) for ``domain`` at time ``t``."""
-        i = self.domains.index(domain)
-        phase = 2 * math.pi * i / max(1, len(self.domains))
-        value = self.base + self.amplitude * math.sin(2 * math.pi * t / self.period + phase)
-        spike = self.spikes.get(domain)
-        if spike is not None:
-            start, duration, magnitude = spike
-            if start <= t < start + duration:
-                value += magnitude
-        return max(0.0, value)
 
 
 @dataclass

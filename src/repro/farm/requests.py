@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,8 +42,6 @@ __all__ = [
     "RequestStats",
     "deploy_domain_service",
 ]
-
-_req_ids = itertools.count(1)
 
 
 # ----------------------------------------------------------------------
@@ -59,17 +57,25 @@ class Request:
 
 @dataclass(frozen=True)
 class Work:
-    """Front end → back end."""
+    """Front end → back end.
+
+    ``client`` travels with the work item so the front end can key its
+    pending table by ``(client, req_id)`` — request ids are only unique
+    *per dispatcher*, and two dispatchers sharing a front end may issue
+    the same id concurrently.
+    """
 
     req_id: int
+    client: IPAddress
     front_end: IPAddress
 
 
 @dataclass(frozen=True)
 class WorkDone:
-    """Back end → front end."""
+    """Back end → front end (echoes the request's ``client`` key)."""
 
     req_id: int
+    client: IPAddress
     worker: IPAddress
 
 
@@ -133,7 +139,8 @@ class BackEndApp:
         if self.host.crashed:
             return
         self.served += 1
-        self.nic.send(msg.front_end, WorkDone(req_id=msg.req_id, worker=self.nic.ip),
+        self.nic.send(msg.front_end,
+                      WorkDone(req_id=msg.req_id, client=msg.client, worker=self.nic.ip),
                       size=128)
 
 
@@ -147,17 +154,26 @@ class FrontEndApp:
     """
 
     def __init__(self, host, dispatch_nic, internal_nic,
-                 work_timeout: float = 1.0) -> None:
+                 work_timeout: float = 1.0, domain: Optional[str] = None) -> None:
         self.host = host
         self.sim = host.sim
         self.dispatch_nic = dispatch_nic
         self.internal_nic = internal_nic
         self.work_timeout = work_timeout
+        self.domain = domain
         self._rr = 0
-        #: req_id -> (client, retry event)
-        self._pending: Dict[int, tuple] = {}
+        #: (client, req_id) -> True while the work is outstanding; the key
+        #: includes the client because req ids are only per-dispatcher unique
+        self._pending: Dict[Tuple[IPAddress, int], bool] = {}
         self.forwarded = 0
         self.served_locally = 0
+        # per-domain arrival counter: the Autoscaler's island-local load
+        # signal (only registered when a domain label is given, so farms
+        # without the traffic plane keep their metrics surface unchanged)
+        self._m_arrivals = (
+            host.sim.metrics.counter("traffic.fe.requests", domain=domain)
+            if domain is not None else None
+        )
         dispatch_nic.app_handler = self._on_dispatch_frame
         internal_nic.app_handler = self._on_internal_frame
 
@@ -175,6 +191,8 @@ class FrontEndApp:
         msg = frame.payload
         if not isinstance(msg, Request):
             return
+        if self._m_arrivals is not None:
+            self._m_arrivals.inc()
         workers = self._workers()
         if not workers:
             # no known peers: serve locally (a domain of one still serves)
@@ -187,10 +205,11 @@ class FrontEndApp:
         worker = workers[self._rr % len(workers)]
         self._rr += 1
         self.forwarded += 1
-        self._pending[msg.req_id] = (msg.client, None)
-        self.internal_nic.send(worker, Work(req_id=msg.req_id,
+        key = (msg.client, msg.req_id)
+        self._pending[key] = True
+        self.internal_nic.send(worker, Work(req_id=msg.req_id, client=msg.client,
                                             front_end=self.internal_nic.ip), size=128)
-        self.sim.schedule(self.work_timeout, self._work_timeout, msg.req_id)
+        self.sim.schedule(self.work_timeout, self._work_timeout, key)
 
     def _on_internal_frame(self, frame) -> None:
         msg = frame.payload
@@ -200,24 +219,24 @@ class FrontEndApp:
             return
         if not isinstance(msg, WorkDone):
             return
-        entry = self._pending.pop(msg.req_id, None)
-        if entry is None:
+        if self._pending.pop((msg.client, msg.req_id), None) is None:
             return
-        client, _ = entry
         self.dispatch_nic.send(
-            client, Response(req_id=msg.req_id, server=self.dispatch_nic.ip), size=256
+            msg.client, Response(req_id=msg.req_id, server=self.dispatch_nic.ip), size=256
         )
 
     def _serve_peer(self, msg: Work) -> None:
         if not self.host.crashed:
             self.served_locally += 1
-            self.internal_nic.send(msg.front_end,
-                                   WorkDone(req_id=msg.req_id, worker=self.internal_nic.ip),
-                                   size=128)
+            self.internal_nic.send(
+                msg.front_end,
+                WorkDone(req_id=msg.req_id, client=msg.client, worker=self.internal_nic.ip),
+                size=128,
+            )
 
-    def _work_timeout(self, req_id: int) -> None:
+    def _work_timeout(self, key: Tuple[IPAddress, int]) -> None:
         # drop it: the dispatcher's own timeout handles client-side retry
-        self._pending.pop(req_id, None)
+        self._pending.pop(key, None)
 
 
 class RequestDispatcher:
@@ -245,6 +264,10 @@ class RequestDispatcher:
         self.stats = RequestStats()
         self.rng = self.sim.rng.stream(f"requests/{seed_name}")
         self._rr = 0
+        # per-dispatcher ids: a module-global counter would leak state
+        # between runs sharing a process (sweep workers, repeated
+        # scenarios), making request ids depend on whatever ran before
+        self._req_ids = itertools.count(1)
         #: req_id -> (issued_at, retries_left, timeout event)
         self._inflight: Dict[int, tuple] = {}
         self._timer: Optional[Timer] = None
@@ -263,7 +286,7 @@ class RequestDispatcher:
 
     # ------------------------------------------------------------------
     def _issue(self) -> None:
-        req_id = next(_req_ids)
+        req_id = next(self._req_ids)
         self.stats.issued += 1
         self._send(req_id, self.max_retries, first=True)
 

@@ -54,6 +54,10 @@ class Scenario:
         farm_factory: Optional[Callable[..., Farm]] = None,
         factory_kwargs: Optional[Dict[str, Any]] = None,
         cut_vlans: Optional[Sequence[int]] = None,
+        backend: Optional[str] = None,
+        trace_store: bool = True,
+        trace_categories: Optional[Sequence[str]] = None,
+        stop_when_stable: bool = False,
     ) -> None:
         """
         Parameters
@@ -91,6 +95,13 @@ class Scenario:
         cut_vlans:
             VLANs treated as the cross-shard cut (default: the admin
             VLAN). Only meaningful with ``shards``.
+        backend / trace_store / trace_categories / stop_when_stable:
+            Forwarded verbatim to :func:`repro.sim.shard.run_sharded`:
+            the per-island simulator backend, whether island traces keep
+            records at all, which categories they keep (counters are
+            always maintained), and whether phase 1 may stop at GSC
+            stability. Only meaningful with ``shards`` — the classic
+            path's farm was already built with its trace.
         """
         if shards is not None:
             from repro.sim.shard import validate_shards
@@ -107,6 +118,12 @@ class Scenario:
             raise ValueError("Scenario() needs a built farm (or shards= with farm_factory=)")
         elif farm_factory is not None or factory_kwargs is not None:
             raise ValueError("Scenario(farm_factory=...) is only meaningful with shards=")
+        elif (backend is not None or not trace_store
+              or trace_categories is not None or stop_when_stable):
+            raise ValueError(
+                "backend/trace_store/trace_categories/stop_when_stable are "
+                "shard-runner options; they are only meaningful with shards="
+            )
         self.farm = farm
         self.plan = plan
         self.churn_cfg = churn
@@ -120,6 +137,10 @@ class Scenario:
         self.farm_factory = farm_factory
         self.factory_kwargs = dict(factory_kwargs or {})
         self.cut_vlans = cut_vlans
+        self.backend = backend
+        self.trace_store = trace_store
+        self.trace_categories = trace_categories
+        self.stop_when_stable = stop_when_stable
         self.injector: Optional[FaultInjector] = None
 
     def run(self) -> ScenarioResult:
@@ -136,6 +157,10 @@ class Scenario:
                 stability_timeout=self.stability_timeout,
                 shards=self.shards,
                 cut_vlans=self.cut_vlans,
+                backend=self.backend,
+                trace_store=self.trace_store,
+                trace_categories=self.trace_categories,
+                stop_when_stable=self.stop_when_stable,
             )
         farm = self.farm
         assert farm is not None

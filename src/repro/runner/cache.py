@@ -76,11 +76,11 @@ class ResultCache:
     canonical JSON of ``{experiment, kwargs, fingerprint, ambient}`` —
     ``ambient`` being the execution parameters that reach tasks through
     the environment rather than through kwargs (the resolved simulator
-    backend and the ``GULFSTREAM_SHARDS`` setting), so a run with
-    ``--sim-backend heap`` or ``--shards 4`` can never replay an entry
-    computed under different execution parameters. ``hits`` / ``misses``
-    / ``stores`` count this instance's traffic so benches can report a
-    hit rate.
+    backend, the ``GULFSTREAM_SHARDS`` setting, and the resolved workload
+    profile shape), so a run with ``--sim-backend heap``, ``--shards 4``
+    or ``--profile flash`` can never replay an entry computed under
+    different execution parameters. ``hits`` / ``misses`` / ``stores``
+    count this instance's traffic so benches can report a hit rate.
     """
 
     def __init__(
@@ -97,16 +97,20 @@ class ResultCache:
     # -- keys ----------------------------------------------------------
     def key(self, experiment: str, kwargs: Mapping[str, Any]) -> str:
         from repro.sim.engine import default_backend
+        from repro.workload.profiles import workload_profile
 
         payload = canonical_json(
             {
                 "experiment": experiment,
                 "kwargs": dict(kwargs),
                 "fingerprint": self.fingerprint,
-                # environment-carried execution parameters (see class doc)
+                # environment-carried execution parameters (see class doc);
+                # resolved (not the raw env strings) so an unset variable
+                # and an explicit default hash identically
                 "ambient": {
                     "sim_backend": default_backend(),
                     "shards": os.environ.get("GULFSTREAM_SHARDS"),
+                    "workload_profile": workload_profile(),
                 },
             }
         )

@@ -1,0 +1,166 @@
+"""The Autoscaler: request-driven domain grow/shrink over live GSC moves.
+
+Where :class:`~repro.farm.oceano.OceanoController` reshapes the farm from a
+*synthetic load curve*, the Autoscaler closes the loop the paper actually
+describes: it watches **measured** per-domain request arrivals through the
+metrics registry (the ``traffic.fe.requests`` counters the front ends
+maintain) and reallocates spare servers through the real GSC/SNMP
+reconfiguration path — ``personality change`` on the spare is already done
+(spares run the back-end application from boot), so a move is exactly one
+authorized VLAN change per adapter.
+
+Determinism: ticks fire at fixed simulated times, decisions read only
+island-local registry counters and farm bookkeeping, and every move goes
+through :class:`~repro.gulfstream.reconfig.ReconfigurationManager` — so a
+sharded replay of the same island sees the identical move sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.farm.builder import FREE_POOL_VLAN, Farm
+from repro.sim.process import Timer
+
+__all__ = ["Autoscaler", "ScalerMove"]
+
+
+@dataclass(frozen=True)
+class ScalerMove:
+    """One reallocation decision the autoscaler carried out."""
+
+    time: float
+    node: str
+    src: str
+    dst: str
+
+
+class Autoscaler:
+    """Grows and shrinks domains against measured request arrivals.
+
+    Policy, evaluated every ``interval`` simulated seconds between
+    ``start_at`` and ``stop_at``: compute each domain's arrival rate per
+    server over the last interval (from the front ends' per-domain arrival
+    counters); above ``high_water`` move a spare in, below ``low_water``
+    (and above ``min_servers``) move the domain's most recently added
+    transplant back to the free pool. A global ``cooldown`` separates
+    consecutive moves so one burst cannot thrash the reconfiguration path.
+    """
+
+    def __init__(
+        self,
+        farm: Farm,
+        domains: List[str],
+        interval: float = 2.0,
+        high_water: float = 12.0,
+        low_water: float = 4.0,
+        min_servers: int = 2,
+        cooldown: float = 4.0,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        self.farm = farm
+        self.sim = farm.sim
+        self.domains = list(domains)
+        self.interval = interval
+        self.high_water = high_water
+        self.low_water = low_water
+        self.min_servers = min_servers
+        self.cooldown = cooldown
+        self.start_at = start_at
+        self.stop_at = stop_at
+        self.moves: List[ScalerMove] = []
+        #: nodes this controller moved into each domain (LIFO for shrink)
+        self._transplants: Dict[str, List[str]] = {d: [] for d in self.domains}
+        self._arrivals = {
+            d: farm.sim.metrics.counter("traffic.fe.requests", domain=d)
+            for d in self.domains
+        }
+        self._last_total: Dict[str, float] = {d: 0.0 for d in self.domains}
+        self._last_move_at = float("-inf")
+        self._m_moves = {
+            (d, direction): farm.sim.metrics.counter(
+                "autoscaler.moves", domain=d, direction=direction
+            )
+            for d in self.domains
+            for direction in ("grow", "shrink")
+        }
+        self._timer: Optional[Timer] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = Timer(
+                self.sim, self.interval, self._tick,
+                initial_delay=max(0.0, self.start_at - self.sim.now) + self.interval,
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    def domain_size(self, domain: str) -> int:
+        return len(self.farm.domain_nodes[domain]) + len(self._transplants[domain])
+
+    def _tick(self) -> None:
+        now = self.sim.now
+        if self.stop_at is not None and now > self.stop_at:
+            self.stop()
+            return
+        rates: Dict[str, float] = {}
+        for domain in self.domains:
+            total = float(self._arrivals[domain].value)
+            rates[domain] = (total - self._last_total[domain]) / self.interval
+            self._last_total[domain] = total
+        gsc = self.farm.gsc()
+        if gsc is None or gsc.stable_time is None:
+            return  # no console to authorize moves yet (or mid-failover)
+        if now - self._last_move_at < self.cooldown:
+            return
+        for domain in self.domains:
+            per_server = rates[domain] / max(1, self.domain_size(domain))
+            if per_server > self.high_water and self.farm.spare_nodes:
+                self._move(domain, grow=True)
+                return  # one move per tick: the next tick sees its effect
+            if (
+                per_server < self.low_water
+                and self._transplants[domain]
+                and self.domain_size(domain) > self.min_servers
+            ):
+                self._move(domain, grow=False)
+                return
+
+    def _move(self, domain: str, grow: bool) -> None:
+        try:
+            rm = self.farm.reconfig()
+        except RuntimeError:
+            return  # GSC mid-failover: retry at the next tick
+        if grow:
+            node = self.farm.spare_nodes.pop(0)
+            target_vlan = self.farm.domain_vlans[domain]
+            src, dst = "free-pool", domain
+        else:
+            node = self._transplants[domain][-1]
+            target_vlan = FREE_POOL_VLAN
+            src, dst = domain, "free-pool"
+        host = self.farm.hosts[node]
+        # the admin adapter never moves (Figure 1: every domain stays
+        # attached to the administrative network)
+        for nic in host.adapters[1:]:
+            rm.move_adapter(nic.ip, target_vlan)
+        if grow:
+            self._transplants[domain].append(node)
+        else:
+            self._transplants[domain].pop()
+            self.farm.spare_nodes.append(node)
+        now = self.sim.now
+        self._last_move_at = now
+        self.moves.append(ScalerMove(now, node, src, dst))
+        self._m_moves[(domain, "grow" if grow else "shrink")].inc()
+        self.sim.trace.emit(
+            now, "autoscaler.grow" if grow else "autoscaler.shrink",
+            domain, node=node,
+        )

@@ -1,0 +1,729 @@
+"""The traffic plane: streamed user requests driving live domain moves.
+
+This wires the workload generators into the farm end to end, the way the
+paper frames GulfStream's purpose (§1: "Requests flowing into the farm go
+through request dispatchers ... and dynamic reconfiguration must be
+accomplished with minimal service interruption"):
+
+* :func:`build_traffic_farm` — a multi-domain farm whose dispatcher node
+  runs a :class:`TrafficSource`: a :class:`~repro.workload.generators.RequestStream`
+  (Poisson arrivals, truncated-Zipf users/domains, diurnal modulation)
+  issuing real ``Request`` frames to the domains' front ends, one pending
+  arrival at a time — millions of simulated users, constant memory.
+* An :class:`~repro.workload.autoscaler.Autoscaler` watching measured
+  per-domain arrivals and moving spare servers between the free pool and
+  the domains through GSC/SNMP reconfig, live, while requests flow.
+* An :class:`~repro.checks.invariants.InvariantMonitor` (VLAN-scoped to
+  the data island) plus an optional chaos mix on top, so the headline
+  capacity number is *moves per hour sustained without invariant
+  violation* and the availability/latency SLOs are measured during churn.
+
+Sharding: with ``cut_vlans=(ADMIN, DISPATCH)`` the farm splits into a
+dispatcher island (the traffic source) and one data island (every domain,
+the spares, and ``site-0`` — domains are fused through each domain's
+``be-0`` bridge adapter on the free-pool VLAN, so GSC and every move
+target share an island, which keeps reconfiguration intra-island per
+PROTOCOL §9). Requests cross the cut on the deterministic cross-shard
+channel, so a case replayed at ``shards=1`` vs ``shards=2`` produces
+byte-identical traces, metrics, and SLO reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.checks.campaign import CHAOS_PARAMS, MIXES, ChaosInjector, write_report
+from repro.checks.invariants import (
+    MONITOR_TRACE_CATEGORIES,
+    CheckWindows,
+    InvariantMonitor,
+)
+from repro.farm.builder import ADMIN_VLAN, FREE_POOL_VLAN, Farm, FarmBuilder
+from repro.farm.domain import DISPATCH_VLAN, DOMAIN_VLAN_BASE
+from repro.farm.requests import BackEndApp, FrontEndApp, Request, Response
+from repro.net.addressing import IPAddress
+from repro.node.osmodel import OSParams
+from repro.runner import run_sweep
+from repro.sim.shard.runner import run_sharded
+from repro.workload.generators import STREAM_NAMES, RequestStream
+from repro.workload.profiles import DiurnalProfile, SpikeSchedule, workload_profile
+
+__all__ = [
+    "TRAFFIC_PARAMS",
+    "TRAFFIC_START",
+    "TRAFFIC_TRACE_CATEGORIES",
+    "TrafficSource",
+    "build_traffic_farm",
+    "build_traffic_report",
+    "render_traffic_report",
+    "run_traffic_campaign",
+    "run_traffic_case",
+    "traffic_horizon",
+    "write_report",
+]
+
+#: protocol parameters for traffic runs — the chaos campaign's fast-but-
+#: complete timing, so stabilization and settle windows stay benchable
+TRAFFIC_PARAMS = CHAOS_PARAMS
+
+#: simulated time the request stream opens; the farm must have discovered
+#: and stabilized by then (CHAOS_PARAMS farms stabilize in ~10 s)
+TRAFFIC_START = 20.0
+
+#: post-traffic calm before the quiescence checks when no chaos ran
+#: (with a mix, the monitor's own settle_time governs instead)
+TRAFFIC_SETTLE = 10.0
+
+#: trace categories a traffic case stores: what the monitor consumes,
+#: plus the events the SLO report is built from. Everything else stays on
+#: the counter-only fast path — a million requests leave no records.
+TRAFFIC_TRACE_CATEGORIES = tuple(
+    sorted(
+        MONITOR_TRACE_CATEGORIES
+        | {
+            "checks.violation",
+            "traffic.violation",
+            "autoscaler.grow",
+            "autoscaler.shrink",
+        }
+    )
+)
+
+_DOMAIN_BASENAMES = ("alpha", "bravo", "charlie", "delta", "echo", "foxtrot")
+
+
+def _domain_names(n: int) -> List[str]:
+    names = list(_DOMAIN_BASENAMES[:n])
+    names.extend(f"dom{k}" for k in range(len(names), n))
+    return names
+
+
+def _settle(mix: Optional[str]) -> float:
+    if mix is None:
+        return TRAFFIC_SETTLE
+    windows = CheckWindows.from_params(TRAFFIC_PARAMS, OSParams.fast())
+    return windows.settle_time
+
+
+def traffic_horizon(
+    duration: float, mix: Optional[str], traffic_start: float = TRAFFIC_START
+) -> float:
+    """Absolute sim-time horizon of one traffic case (stream + settle)."""
+    return traffic_start + duration + _settle(mix) + 1.0
+
+
+def _resolve_profile(names: List[str], period: float, trough: float, duration: float):
+    """The stream's rate profile for the ambient workload-profile shape.
+
+    Returns ``(profile, peak_factor)``. The shape is environment-carried
+    (``$GULFSTREAM_WORKLOAD_PROFILE``) rather than a kwarg, so the result
+    cache must key on it as ambient state — see ``ResultCache.key``.
+    """
+    kind = workload_profile()
+    if kind == "flat":
+        # trough == 1.0 collapses the diurnal wave to a constant full rate
+        return DiurnalProfile(period=period, trough=1.0), 1.0
+    diurnal = DiurnalProfile(period=period, trough=trough, domains=names, stagger=True)
+    if kind == "diurnal":
+        return diurnal, diurnal.peak
+    # flash: the diurnal baseline plus a scripted flash crowd on the most
+    # popular domain, one third of the way into the stream
+    spikes = SpikeSchedule({names[0]: (duration / 3.0, duration / 4.0, 0.5)})
+
+    def flash(domain: str, t: float) -> float:
+        return diurnal(domain, t) + spikes.extra(domain, t)
+
+    return flash, 1.5
+
+
+# ----------------------------------------------------------------------
+# the source
+# ----------------------------------------------------------------------
+class TrafficSource:
+    """Streams a :class:`RequestStream` onto the dispatcher VLAN.
+
+    Exactly one arrival is scheduled at a time — the iterator is pulled
+    again only when its event fires — so the schedule never materializes
+    in memory no matter how many requests the stream holds. Requests
+    round-robin over each domain's front ends with retry-on-timeout
+    failover to the next front end (the real dispatcher behaviour the
+    failover tests pin down).
+    """
+
+    def __init__(
+        self,
+        host: Any,
+        nic: Any,
+        front_ends: Dict[str, List[IPAddress]],
+        stream: RequestStream,
+        start_at: float,
+        timeout: float = 1.5,
+        max_retries: int = 2,
+    ) -> None:
+        for domain, fes in front_ends.items():
+            if not fes:
+                raise ValueError(f"domain {domain} has no front ends")
+        self.host = host
+        self.nic = nic
+        self.sim = host.sim
+        self.front_ends = {d: list(v) for d, v in front_ends.items()}
+        self.start_at = start_at
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._it = iter(stream)
+        self._rr = {d: 0 for d in self.front_ends}
+        self._req_ids = itertools.count(1)
+        #: req_id -> (issued_at, domain, retries_left, timeout event)
+        self._inflight: Dict[int, tuple] = {}
+        reg = self.sim.metrics
+        self._m_req = {d: reg.counter("traffic.requests", domain=d) for d in self.front_ends}
+        self._m_done = {d: reg.counter("traffic.completed", domain=d) for d in self.front_ends}
+        self._m_fail = {d: reg.counter("traffic.failed", domain=d) for d in self.front_ends}
+        self._m_retry = {d: reg.counter("traffic.retried", domain=d) for d in self.front_ends}
+        self._m_latency = reg.histogram("traffic.latency_s")
+        nic.app_handler = self._on_frame
+        self._schedule_next()
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        ev = next(self._it, None)
+        if ev is None:
+            return
+        self.sim.schedule_at(self.start_at + ev.time, self._fire, ev.domain)
+
+    def _fire(self, domain: str) -> None:
+        self._schedule_next()
+        if self.host.crashed:
+            self._m_fail[domain].inc()
+            return
+        req_id = next(self._req_ids)
+        self._m_req[domain].inc()
+        self._inflight[req_id] = (self.sim.now, domain, self.max_retries, None)
+        self._send(req_id, domain)
+
+    def _send(self, req_id: int, domain: str) -> None:
+        issued_at, _, retries_left, _ = self._inflight[req_id]
+        fes = self.front_ends[domain]
+        target = fes[self._rr[domain] % len(fes)]
+        self._rr[domain] += 1
+        ev = self.sim.schedule(self.timeout, self._on_timeout, req_id)
+        self._inflight[req_id] = (issued_at, domain, retries_left, ev)
+        self.nic.send(target, Request(req_id=req_id, client=self.nic.ip), size=256)
+
+    def _on_timeout(self, req_id: int) -> None:
+        entry = self._inflight.pop(req_id, None)
+        if entry is None:
+            return
+        issued_at, domain, retries_left, _ = entry
+        if retries_left > 0:
+            self._m_retry[domain].inc()
+            self._inflight[req_id] = (issued_at, domain, retries_left - 1, None)
+            self._send(req_id, domain)
+        else:
+            self._m_fail[domain].inc()
+
+    def _on_frame(self, frame: Any) -> None:
+        msg = frame.payload
+        if not isinstance(msg, Response):
+            return
+        entry = self._inflight.pop(msg.req_id, None)
+        if entry is None:
+            return  # late duplicate after the final timeout
+        issued_at, domain, _, ev = entry
+        if ev is not None:
+            ev.cancel()
+        self._m_done[domain].inc()
+        self._m_latency.observe(self.sim.now - issued_at)
+
+
+# ----------------------------------------------------------------------
+# scoped chaos
+# ----------------------------------------------------------------------
+class _TrafficChaos(ChaosInjector):
+    """A chaos injector confined to the data island's domain VLANs.
+
+    The general campaign injector may target any host, VLAN, or adapter;
+    under sharding that would let faults straddle the cut (or crash the
+    only GSC-eligible node). This subclass restricts every target set to
+    the domain servers, spares, and domain-internal VLANs, so all chaos
+    stays inside the island the monitor can actually observe.
+    """
+
+    def __init__(self, farm: Farm, mix: str, hosts: Sequence[str], vlans: Sequence[int]) -> None:
+        super().__init__(farm, mix)
+        allowed_hosts = set(hosts)
+        scope = set(vlans)
+        self._hosts = sorted(h for h in self._hosts if h in allowed_hosts)
+        self._data_vlans = [v for v in self._data_vlans if v in scope]
+        self._lead_vlans = [v for v in self._lead_vlans if v in scope]
+        self._data_nics = sorted(
+            (
+                nic.ip
+                for name in sorted(allowed_hosts & set(farm.hosts))
+                for nic in farm.hosts[name].adapters[1:]
+                if nic.port is not None and nic.port.vlan in scope
+            ),
+            key=int,
+        )
+
+
+# ----------------------------------------------------------------------
+# the farm factory (module-level and picklable: shard workers re-run it)
+# ----------------------------------------------------------------------
+def _finalize_checks(monitor: InvariantMonitor, farm: Farm) -> None:
+    """Quiescence checks, folded into metrics/trace so shard merges see
+    them: counts as ``checks.count{invariant=}`` counters, every violation
+    as one ``traffic.violation`` record carrying the full detail."""
+    monitor.finalize()
+    reg = farm.sim.metrics
+    for name, count in monitor.checks.items():
+        reg.counter("checks.count", invariant=name).set_total(count)
+    reg.counter("checks.waived").set_total(monitor.waived)
+    reg.counter("checks.violations").set_total(len(monitor.violations))
+    for v in monitor.violations:
+        farm.sim.trace.emit(
+            farm.sim.now,
+            "traffic.violation",
+            v.subject,
+            at=round(v.time, 6),
+            invariant=v.invariant,
+            detail=v.detail,
+        )
+
+
+def build_traffic_farm(
+    domains: int = 2,
+    front_ends: int = 1,
+    back_ends: int = 3,
+    spares: int = 2,
+    dispatchers: int = 1,
+    rate: float = 120.0,
+    duration: float = 30.0,
+    n_users: int = 1_000_000,
+    user_alpha: float = 0.9,
+    domain_alpha: float = 0.8,
+    diurnal_period: float = 60.0,
+    diurnal_trough: float = 0.25,
+    mix: Optional[str] = None,
+    autoscale: bool = True,
+    high_water: float = 12.0,
+    low_water: float = 4.0,
+    traffic_start: float = TRAFFIC_START,
+    request_timeout: float = 1.5,
+    service_time: float = 0.005,
+    seed: int = 0,
+    trace: Any = None,
+) -> Farm:
+    """An Océano farm with the whole traffic plane scheduled onto it.
+
+    Layout: ``dispatchers`` dispatcher nodes (admin + dispatch VLANs,
+    their own shard island), ``site-0`` (the only GSC-eligible node,
+    parked on the free pool), and per domain ``front_ends`` front ends,
+    ``back_ends`` back ends — the first back end doubling as the
+    free-pool *bridge* — plus ``spares`` movable spares. Everything the
+    case does (stream start/stop, autoscaler ticks, chaos faults, monitor
+    start/finalize) is scheduled here at fixed simulated times, so the
+    factory fully determines the run and shard workers can replay it.
+    """
+    if mix is not None and mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r}: choose from {sorted(MIXES)}")
+    names = _domain_names(domains)
+    b = FarmBuilder(
+        seed=seed, params=TRAFFIC_PARAMS, os_params=OSParams.fast(), trace=trace
+    ).switches(2)
+    farm = b._farm
+    fe_ips: Dict[str, List[IPAddress]] = {}
+    for d in range(dispatchers):
+        b.add_node(f"dispatch-{d}", [ADMIN_VLAN, DISPATCH_VLAN])
+    b.add_node("site-0", [ADMIN_VLAN, FREE_POOL_VLAN], admin_eligible=True)
+    for k, name in enumerate(names):
+        internal = DOMAIN_VLAN_BASE + k
+        farm.domain_vlans[name] = internal
+        nodes: List[str] = []
+        for i in range(front_ends):
+            node = f"{name}-fe-{i}"
+            b.add_node(node, [ADMIN_VLAN, internal, DISPATCH_VLAN])
+            fe_ips.setdefault(name, []).append(b.node_records[-1].ips[2])
+            nodes.append(node)
+        for i in range(back_ends):
+            node = f"{name}-be-{i}"
+            # be-0 bridges the domain onto the free pool, fusing every
+            # domain + spares + site-0 into one shard island
+            vlans = [ADMIN_VLAN, internal] + ([FREE_POOL_VLAN] if i == 0 else [])
+            b.add_node(node, vlans)
+            nodes.append(node)
+        farm.domain_nodes[name] = nodes
+    for i in range(spares):
+        node = f"spare-{i}"
+        b.add_node(node, [ADMIN_VLAN, FREE_POOL_VLAN])
+        farm.spare_nodes.append(node)
+    farm = b.finish()
+    sim = farm.sim
+    traffic_end = traffic_start + duration
+
+    # -- data plane (owned hosts only: under a shard context some of
+    #    these lookups miss, and the other island dresses them) ---------
+    for name in names:
+        internal = farm.domain_vlans[name]
+        for node in farm.domain_nodes[name]:
+            host = farm.hosts.get(node)
+            if host is None:
+                continue
+            by_vlan = {
+                nic.port.vlan: nic for nic in host.adapters if nic.port is not None
+            }
+            if DISPATCH_VLAN in by_vlan:
+                FrontEndApp(
+                    host,
+                    by_vlan[DISPATCH_VLAN],
+                    by_vlan[internal],
+                    work_timeout=request_timeout / 2,
+                    domain=name,
+                )
+            else:
+                BackEndApp(host, by_vlan[internal], service_time=service_time)
+    for node in farm.spare_nodes:
+        host = farm.hosts.get(node)
+        if host is not None:
+            # personality change is already done: a spare serves from boot
+            BackEndApp(host, host.adapters[1], service_time=service_time)
+
+    # -- the source (dispatcher island) --------------------------------
+    disp = farm.hosts.get("dispatch-0")
+    if disp is not None:
+        profile, peak_factor = _resolve_profile(
+            names, diurnal_period, diurnal_trough, duration
+        )
+        rngs = {n: sim.rng.stream(f"workload/{n}") for n in STREAM_NAMES}
+        stream = RequestStream(
+            names,
+            base_rate=rate,
+            duration=duration,
+            n_users=n_users,
+            user_alpha=user_alpha,
+            domain_alpha=domain_alpha,
+            profile=profile,
+            peak_factor=peak_factor,
+            rngs=rngs,
+        )
+        nic = next(
+            n for n in disp.adapters
+            if n.port is not None and n.port.vlan == DISPATCH_VLAN
+        )
+        TrafficSource(
+            disp, nic, fe_ips, stream,
+            start_at=traffic_start, timeout=request_timeout,
+        )
+
+    # -- control plane (data island: gated on owning site-0) -----------
+    if "site-0" in farm.hosts:
+        from repro.workload.autoscaler import Autoscaler
+
+        windows = CheckWindows.from_params(farm.params, OSParams.fast())
+        scope = set(farm.domain_vlans.values()) | {FREE_POOL_VLAN}
+        monitor = InvariantMonitor(farm, windows=windows, vlan_scope=scope)
+        sim.schedule_at(traffic_start, monitor.start)
+        if autoscale:
+            scaler = Autoscaler(
+                farm,
+                names,
+                high_water=high_water,
+                low_water=low_water,
+                start_at=traffic_start,
+                stop_at=traffic_end,
+            )
+            scaler.start()
+        if mix is not None:
+            chaos = _TrafficChaos(
+                farm, mix,
+                hosts=[n for nodes in farm.domain_nodes.values() for n in nodes]
+                + list(farm.spare_nodes),
+                vlans=sorted(farm.domain_vlans.values()),
+            )
+            chaos.plan(start=traffic_start, duration=duration)
+            for kind, count in sorted(chaos.counts.items()):
+                sim.metrics.counter("chaos.faults", kind=kind).set_total(count)
+        sim.schedule_at(traffic_end + _settle(mix), _finalize_checks, monitor, farm)
+    return farm
+
+
+# ----------------------------------------------------------------------
+# one case → one row
+# ----------------------------------------------------------------------
+def run_traffic_case(
+    case: int = 0,
+    rep: int = 0,
+    seed: int = 0,
+    domains: int = 2,
+    front_ends: int = 1,
+    back_ends: int = 3,
+    spares: int = 2,
+    rate: float = 120.0,
+    duration: float = 30.0,
+    n_users: int = 100_000,
+    mix: Optional[str] = None,
+    autoscale: bool = True,
+    shards: Union[int, str] = 1,
+    backend: Optional[str] = None,
+) -> Dict:
+    """Run one traffic case (always through the shard runner — ``shards=1``
+    runs the identical pipeline inline) and fold it into a plain-JSON row.
+
+    ``case`` and ``rep`` only differentiate the derived task seed when
+    fanned out by :func:`run_traffic_campaign` (``rep`` is the replicate
+    index of the same case); the shard count never appears in the row, so
+    rows are byte-identical at ``shards=1`` vs ``shards=2``.
+    """
+    kwargs = dict(
+        domains=domains,
+        front_ends=front_ends,
+        back_ends=back_ends,
+        spares=spares,
+        rate=rate,
+        duration=duration,
+        n_users=n_users,
+        mix=mix,
+        autoscale=autoscale,
+        seed=seed,
+    )
+    res = run_sharded(
+        build_traffic_farm,
+        kwargs,
+        duration=traffic_horizon(duration, mix),
+        stability_timeout=TRAFFIC_START,
+        shards=shards,
+        cut_vlans=(ADMIN_VLAN, DISPATCH_VLAN),
+        backend=backend,
+        trace_categories=TRAFFIC_TRACE_CATEGORIES,
+    )
+    reg = res.metrics
+    assert reg is not None
+    names = _domain_names(domains)
+    per_domain: Dict[str, Dict[str, Union[int, float]]] = {}
+    totals = {"issued": 0, "completed": 0, "failed": 0, "retried": 0}
+    moves = {"grow": 0, "shrink": 0}
+    for name in names:
+        issued = int(reg.counter("traffic.requests", domain=name).value)
+        completed = int(reg.counter("traffic.completed", domain=name).value)
+        failed = int(reg.counter("traffic.failed", domain=name).value)
+        retried = int(reg.counter("traffic.retried", domain=name).value)
+        grow = int(reg.counter("autoscaler.moves", domain=name, direction="grow").value)
+        shrink = int(
+            reg.counter("autoscaler.moves", domain=name, direction="shrink").value
+        )
+        per_domain[name] = {
+            "issued": issued,
+            "completed": completed,
+            "failed": failed,
+            "retried": retried,
+            "fe_arrivals": int(reg.counter("traffic.fe.requests", domain=name).value),
+            "availability": round(completed / issued, 6) if issued else 1.0,
+            "moves": grow + shrink,
+        }
+        totals["issued"] += issued
+        totals["completed"] += completed
+        totals["failed"] += failed
+        totals["retried"] += retried
+        moves["grow"] += grow
+        moves["shrink"] += shrink
+    hist = reg.histogram("traffic.latency_s")
+    latency = {
+        "p50": round(hist.percentile(50), 6),
+        "p90": round(hist.percentile(90), 6),
+        "p99": round(hist.percentile(99), 6),
+        "mean": round(hist.sum / hist.count, 6) if hist.count else 0.0,
+    }
+    violations = [
+        {
+            "time": rec.data["at"],
+            "invariant": rec.data["invariant"],
+            "subject": rec.source,
+            "detail": rec.data["detail"],
+        }
+        for rec in res.trace_records
+        if rec.category == "traffic.violation"
+    ]
+    checks = {
+        name: int(reg.counter("checks.count", invariant=name).value)
+        for name in (
+            "single_leader",
+            "membership_agreement",
+            "detection_latency",
+            "no_lost_adapter",
+            "verify_topology",
+        )
+    }
+    total_moves = moves["grow"] + moves["shrink"]
+    faults = {
+        dict(m.labels)["kind"]: int(m.value)
+        for m in reg
+        if m.name == "chaos.faults"
+    }
+    return {
+        "seed": seed,
+        "mix": mix,
+        "duration": duration,
+        "stable_time": round(res.stable_time, 6) if res.stable_time is not None else None,
+        "requests": totals,
+        "availability": (
+            round(totals["completed"] / totals["issued"], 6) if totals["issued"] else 1.0
+        ),
+        "latency": latency,
+        "domains": per_domain,
+        "moves": {**moves, "total": total_moves},
+        "moves_per_hour": (
+            round(total_moves * 3600.0 / duration, 6) if not violations else 0.0
+        ),
+        "checks": checks,
+        "waived": int(reg.counter("checks.waived").value),
+        "violations": violations,
+        "faults": faults,
+        "n_islands": res.n_islands,
+        "cross_messages": res.cross_messages,
+    }
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+def run_traffic_campaign(
+    cases: int = 3,
+    *,
+    jobs: int = 1,
+    replicates: int = 1,
+    base_seed: int = 0,
+    cache: Any = None,
+    metrics: Any = None,
+    **case_kwargs: Any,
+) -> List[Dict]:
+    """Fan workload cases out over the runner pool; one row per task.
+
+    ``replicates`` repeats every case with independently derived seeds —
+    a second grid axis (``rep``), *not* the sweep fabric's averaging
+    aggregation: a workload row is a structured SLO record (nested
+    request/latency/violation maps), so replicates stay whole rows and
+    :func:`build_traffic_report` folds them like extra cases.
+
+    Rows are byte-identical for any ``jobs`` value (deterministic
+    per-task seed derivation, grid-order results) and for any per-case
+    ``shards`` value (the shard-equivalence contract).
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    return run_sweep(
+        run_traffic_case,
+        grid={"case": list(range(cases)), "rep": list(range(replicates))},
+        fixed=case_kwargs,
+        jobs=jobs,
+        experiment="workload",
+        seed_arg="seed",
+        base_seed=base_seed,
+        cache=cache,
+        metrics=metrics,
+    )
+
+
+def build_traffic_report(
+    rows: List[Dict],
+    base_seed: int = 0,
+    mix: Optional[str] = None,
+) -> Dict:
+    """Fold case rows into the canonical workload SLO report.
+
+    Replicate rows (same ``case``, different ``rep``) fold exactly like
+    extra cases; the campaign header records how many of each there were.
+    """
+    totals = {"issued": 0, "completed": 0, "failed": 0, "retried": 0}
+    moves = {"grow": 0, "shrink": 0, "total": 0}
+    checks: Dict[str, int] = {}
+    faults: Dict[str, int] = {}
+    violations: List[Dict] = []
+    latency_worst = {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+    traffic_seconds = 0.0
+    waived = 0
+    for row in rows:
+        for key in totals:
+            totals[key] += row["requests"][key]
+        for key in ("grow", "shrink", "total"):
+            moves[key] += row["moves"][key]
+        for name, count in row["checks"].items():
+            checks[name] = checks.get(name, 0) + count
+        for name, count in row["faults"].items():
+            faults[name] = faults.get(name, 0) + count
+        for key in latency_worst:
+            latency_worst[key] = max(latency_worst[key], row["latency"][key])
+        traffic_seconds += row["duration"]
+        waived += row["waived"]
+        for v in row["violations"]:
+            violations.append(
+                {**v, "case": row["case"], "rep": row.get("rep", 0), "seed": row["seed"]}
+            )
+    violations.sort(key=lambda v: (v["case"], v["rep"], v["time"], v["invariant"]))
+    availability = (
+        round(totals["completed"] / totals["issued"], 6) if totals["issued"] else 1.0
+    )
+    moves_per_hour = (
+        round(moves["total"] * 3600.0 / traffic_seconds, 6)
+        if traffic_seconds and not violations
+        else 0.0
+    )
+    cases = len({row["case"] for row in rows}) if rows else 0
+    return {
+        "campaign": {
+            "cases": cases,
+            "replicates": (len(rows) // cases) if cases else 1,
+            "base_seed": base_seed,
+            "mix": mix,
+            "traffic_seconds": round(traffic_seconds, 6),
+        },
+        "requests": totals,
+        "slo": {
+            "availability": availability,
+            "latency_worst": {k: round(v, 6) for k, v in latency_worst.items()},
+        },
+        "moves": moves,
+        "moves_per_hour_sustained": moves_per_hour,
+        "checks": dict(sorted(checks.items())),
+        "faults_injected": dict(sorted(faults.items())),
+        "obligations_waived": waived,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def render_traffic_report(report: Dict) -> str:
+    """Human-readable summary for the CLI."""
+    camp = report["campaign"]
+    totals = report["requests"]
+    slo = report["slo"]
+    replicates = camp.get("replicates", 1)
+    rep_part = f" replicates={replicates}" if replicates > 1 else ""
+    lines = [
+        f"workload campaign: cases={camp['cases']}{rep_part} "
+        f"mix={camp['mix'] or 'none'} "
+        f"traffic={camp['traffic_seconds']:.0f}s",
+        f"requests: issued={totals['issued']} completed={totals['completed']} "
+        f"failed={totals['failed']} retried={totals['retried']}",
+        f"availability: {slo['availability']:.6f}",
+        "latency (worst case over cases): "
+        + " ".join(f"{k}={v * 1000:.1f}ms" for k, v in slo["latency_worst"].items()),
+        f"moves: grow={report['moves']['grow']} shrink={report['moves']['shrink']}",
+        f"moves/hour sustained without violation: "
+        f"{report['moves_per_hour_sustained']:.1f}",
+    ]
+    if report["faults_injected"]:
+        lines.append(
+            "faults injected: "
+            + " ".join(f"{k}={v}" for k, v in report["faults_injected"].items())
+        )
+    if report["violations"]:
+        lines.append(f"VIOLATIONS: {len(report['violations'])}")
+        for v in report["violations"]:
+            lines.append(
+                f"  [case{v['case']}/seed{v['seed']}] t={v['time']:.2f} "
+                f"{v['invariant']} {v['subject']}: {v['detail']}"
+            )
+    else:
+        lines.append("no invariant violations")
+    return "\n".join(lines)

@@ -116,6 +116,94 @@ def test_dispatcher_requires_front_ends():
                           farm.hosts["dispatch-0"].adapters[1], front_ends=[])
 
 
+def test_failover_rotates_to_the_next_front_end():
+    """A dead front end only costs its own round-robin turns: retries fail
+    over to the surviving front end and complete there.
+
+    The rate is slower than the retry timeout so at most one request is in
+    flight: the shared round-robin then deterministically rotates every
+    retry onto the *other* front end. The only loss allowed is the brief
+    blip while the survivor's AMG view still lists the crashed peer as a
+    worker (GulfStream's detection window); after that, zero failures."""
+    farm, disp = service_farm(seed=9, front_ends=2, back_ends=2, rate=0.4)
+    farm.sim.run(until=farm.sim.now + 10.0)
+    s = disp.stats
+    t0 = farm.sim.now
+    farm.hosts["acme-fe-1"].crash()
+    farm.sim.run(until=t0 + 30.0)
+    assert s.retried >= 3  # the dead front end's turns, each failed over
+    assert s.failures_in(t0, t0 + 6.0) <= 2   # detection-window blip only
+    assert s.failures_in(t0 + 6.0, t0 + 30.0) == 0
+    in_flight = len(disp._inflight)
+    assert s.completed + s.failed + in_flight == s.issued
+
+
+def test_front_end_crash_failures_are_bounded_under_load():
+    """At full rate requests overlap, so the round-robin retry target is
+    effectively random: a dead front end (which GulfStream cannot heal at
+    the dispatcher — its list is static) costs at most its traffic share
+    squared, never the whole service."""
+    farm, disp = service_farm(seed=9, front_ends=2, back_ends=2)
+    farm.sim.run(until=farm.sim.now + 10.0)
+    s = disp.stats
+    t0 = farm.sim.now
+    farm.hosts["acme-fe-1"].crash()
+    farm.sim.run(until=t0 + 20.0)
+    window_issued = 50 * 20
+    # ~1/2 hit the dead front end and retry; ~1/2 of those land dead again
+    assert s.retried > 0
+    assert s.failures_in(t0, t0 + 20.0) < window_issued * 0.35
+    assert s.completed > window_issued * 0.5
+
+
+def test_request_ids_are_per_dispatcher_not_global():
+    """Regression: ids came from a module-global counter, so a second
+    dispatcher (or a second farm in the same process) started mid-sequence
+    depending on whatever ran before."""
+    farm1, disp1 = service_farm(seed=10)
+    farm1.sim.run(until=farm1.sim.now + 5.0)
+    assert disp1.stats.issued > 0
+    farm2, disp2 = service_farm(seed=11)
+    # the fresh dispatcher's sequence must restart at 1 even though
+    # hundreds of ids were consumed in this process already
+    assert next(disp2._req_ids) == 1
+
+
+def test_two_dispatchers_sharing_front_ends_do_not_collide():
+    """Regression: the front end keyed its pending table by bare req_id.
+    Two dispatchers issue overlapping id sequences (1, 2, 3, ...) to the
+    same front ends; one dispatcher's WorkDone then popped the other's
+    pending entry, leaking its request into a timeout. The key is now
+    (client, req_id). This test fails before that fix."""
+    from repro.farm.requests import RequestDispatcher
+    from repro.farm.domain import DISPATCH_VLAN
+
+    spec = FarmSpec(
+        domains=[DomainSpec("acme", 2, 2)],
+        dispatchers=2, management_nodes=1, spare_nodes=0,
+    )
+    farm = build_farm(spec, seed=12, params=PARAMS, os_params=OSParams.fast())
+    d1 = deploy_domain_service(farm, "acme", rate=50.0,
+                               dispatcher_node="dispatch-0")
+    # second dispatcher on its own node, same front ends, same id sequence
+    host = farm.hosts["dispatch-1"]
+    nic = next(n for n in host.adapters
+               if n.port is not None and n.port.vlan == DISPATCH_VLAN)
+    d2 = RequestDispatcher(host, nic, front_ends=list(d1.front_ends),
+                           rate=50.0, timeout=2.0, seed_name="second")
+    farm.start()
+    assert farm.run_until_stable(timeout=120.0) is not None
+    d1.start()
+    d2.start()
+    farm.sim.run(until=farm.sim.now + 20.0)
+    for disp in (d1, d2):
+        s = disp.stats
+        assert s.issued > 500
+        assert s.failed == 0, f"cross-dispatcher collisions: {s.failed} failures"
+        assert s.retried == 0
+        assert s.completed + len(disp._inflight) == s.issued
+
+
 def test_stats_accounting_consistent():
     farm, disp = service_farm(seed=8)
     farm.sim.run(until=farm.sim.now + 15.0)

@@ -72,6 +72,32 @@ def test_workload_spikes():
     assert wl.load("a", 80) == 10
 
 
+def test_workload_shim_is_the_workload_package_model():
+    """``SyntheticWorkload`` is now a thin alias over
+    :class:`repro.workload.profiles.DomainLoadModel`: same class surface,
+    numerically identical ``load()``, so every existing Océano scenario
+    (and its traces) replays unchanged."""
+    from repro.workload.profiles import DomainLoadModel
+
+    assert issubclass(SyntheticWorkload, DomainLoadModel)
+    old = SyntheticWorkload(["a", "b"], base=100, amplitude=80, period=120,
+                            spikes={"a": (30, 10, 400)})
+    new = DomainLoadModel(["a", "b"], base=100, amplitude=80, period=120,
+                          spikes={"a": (30, 10, 400)})
+    for d in ("a", "b"):
+        for t in [x / 4 for x in range(0, 600)]:
+            assert old.load(d, t) == new.load(d, t)
+
+
+def test_workload_shim_gains_the_stream_adapter():
+    """The shim also inherits the RequestStream adapter — legacy call
+    sites can feed the new traffic plane without rewriting."""
+    wl = SyntheticWorkload(["a"], base=50, amplitude=25)
+    profile = wl.as_profile()
+    assert profile("a", 0.0) == wl.load("a", 0.0) / 50
+    assert wl.peak_factor == (50 + 25) / 50
+
+
 def oceano_farm(seed):
     spec = FarmSpec(
         domains=[DomainSpec("acme", 2, 1), DomainSpec("globex", 2, 1)],

@@ -165,6 +165,67 @@ def test_three_way_layout_invariance():
 
 
 # ----------------------------------------------------------------------
+# the traffic plane: requests + autoscaler moves + chaos across the cut
+# ----------------------------------------------------------------------
+def test_traffic_case_rows_identical_at_1_vs_2():
+    """A full traffic case — streamed requests crossing the dispatcher cut,
+    live autoscaler moves on the data island — is the same JSON row at
+    every shard layout."""
+    from repro.workload.traffic import run_traffic_case
+
+    kw = dict(case=0, seed=7, duration=15.0, rate=80.0, n_users=50_000)
+    assert run_traffic_case(shards=1, **kw) == run_traffic_case(shards=2, **kw)
+
+
+@pytest.mark.slow
+def test_traffic_chaos_three_way_layout_invariance():
+    """With a chaos mix on top (faults island-local, requests crossing the
+    cut, retries timing out against cross-shard latency): shards=1, 2 and
+    auto all fold to identical rows and identical SLO reports."""
+    from repro.workload.traffic import build_traffic_report, run_traffic_case
+
+    kw = dict(case=0, seed=3, duration=20.0, rate=80.0, n_users=50_000,
+              mix="mixed")
+    rows = {s: run_traffic_case(shards=s, **kw) for s in (1, 2, "auto")}
+    assert rows[1] == rows[2] == rows["auto"]
+    reports = {
+        s: build_traffic_report([{**row, "case": 0}], base_seed=3, mix="mixed")
+        for s, row in rows.items()
+    }
+    assert reports[1] == reports[2] == reports["auto"]
+    assert reports[1]["ok"], reports[1]["violations"]
+    assert sum(reports[1]["faults_injected"].values()) >= 6
+
+
+@pytest.mark.slow
+def test_traffic_scenario_fingerprints_identical():
+    """The raw ShardedScenarioResult artifacts (not just the folded row):
+    trace records, counters, metrics, segment totals all agree."""
+    from repro.farm.builder import ADMIN_VLAN
+    from repro.farm.domain import DISPATCH_VLAN
+    from repro.workload.traffic import (
+        TRAFFIC_START, TRAFFIC_TRACE_CATEGORIES, build_traffic_farm,
+        traffic_horizon,
+    )
+
+    kw = dict(duration=15.0, rate=80.0, n_users=50_000, seed=11)
+    prints = {}
+    for shards in (1, 2):
+        res = run_sharded(
+            build_traffic_farm, kw,
+            duration=traffic_horizon(15.0, None),
+            stability_timeout=TRAFFIC_START,
+            shards=shards,
+            cut_vlans=(ADMIN_VLAN, DISPATCH_VLAN),
+            trace_categories=TRAFFIC_TRACE_CATEGORIES,
+        )
+        assert res.n_islands == 2
+        prints[shards] = _fingerprint(res)
+    for key in prints[1]:
+        assert prints[1][key] == prints[2][key], f"{key} diverged between layouts"
+
+
+# ----------------------------------------------------------------------
 # randomized differential: whole fault programs, both layouts
 # ----------------------------------------------------------------------
 _NODES = [f"z{z}-n{i}" for z in range(2) for i in range(3)]

@@ -48,6 +48,27 @@ def test_key_covers_ambient_backend_and_shards(cache, monkeypatch):
     assert cache.key("exp", {"n": 5}) not in (base, heap)
 
 
+def test_key_covers_ambient_workload_profile(cache, monkeypatch):
+    """The workload profile shape reaches cases through the environment
+    (like the sim backend learned in PR 7), so cached sweep rows must not
+    alias across ``$GULFSTREAM_WORKLOAD_PROFILE`` values — a ``flat`` run
+    replaying a ``diurnal`` row would report the wrong SLOs."""
+    monkeypatch.delenv("GULFSTREAM_SIM_BACKEND", raising=False)
+    monkeypatch.delenv("GULFSTREAM_SHARDS", raising=False)
+    monkeypatch.delenv("GULFSTREAM_WORKLOAD_PROFILE", raising=False)
+    base = cache.key("exp", {"n": 5})
+    # unset and the explicit default resolve to the same key: the ambient
+    # entry records the *resolved* shape, not the raw env string
+    monkeypatch.setenv("GULFSTREAM_WORKLOAD_PROFILE", "diurnal")
+    assert cache.key("exp", {"n": 5}) == base
+    seen = {base}
+    for profile in ("flat", "flash"):
+        monkeypatch.setenv("GULFSTREAM_WORKLOAD_PROFILE", profile)
+        key = cache.key("exp", {"n": 5})
+        assert key not in seen
+        seen.add(key)
+
+
 def test_unserializable_results_are_skipped_not_fatal(cache):
     key = cache.key("exp", {"n": 1})
     assert not cache.put(key, {"obj": object()})

@@ -153,6 +153,43 @@ def test_fig5_jobs_matches_serial_through_real_cli(capsys):
     assert parallel == serial
 
 
+def test_workload_smoke(capsys):
+    code, out = run(capsys, "workload", "--cases", "1", "--duration", "5",
+                    "--rate", "40", "--users", "1000")
+    assert code == 0
+    assert "workload campaign: cases=1" in out
+    assert "moves/hour sustained" in out
+    assert "no invariant violations" in out
+
+
+def test_workload_replicates_fold_into_the_report(capsys):
+    code, out = run(capsys, "workload", "--cases", "1", "--replicates", "2",
+                    "--duration", "5", "--rate", "40", "--users", "1000")
+    assert code == 0
+    assert "replicates=2" in out
+
+
+def test_workload_unknown_mix_exits_2(capsys):
+    code, _ = run(capsys, "workload", "--mix", "nosuch")
+    assert code == 2
+
+
+def test_workload_jobs_and_shards_conflict(capsys, monkeypatch):
+    monkeypatch.delenv("GULFSTREAM_SHARDS", raising=False)
+    code, _ = run(capsys, "workload", "--jobs", "2", "--shards", "2")
+    assert code == 2
+
+
+def test_workload_profile_flag_sets_the_ambient_env(capsys, monkeypatch):
+    monkeypatch.delenv("GULFSTREAM_WORKLOAD_PROFILE", raising=False)
+    import os
+
+    code, _ = run(capsys, "workload", "--cases", "1", "--duration", "5",
+                  "--rate", "40", "--users", "1000", "--profile", "flat")
+    assert code == 0
+    assert os.environ["GULFSTREAM_WORKLOAD_PROFILE"] == "flat"
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["not-a-command"])

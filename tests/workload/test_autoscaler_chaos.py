@@ -1,0 +1,64 @@
+"""Autoscaler/chaos interaction: live moves racing leader-targeted kills.
+
+The regression scenario the traffic plane must survive: the autoscaler
+issues a domain move through the GSC/SNMP path while the ``leader`` chaos
+mix is killing exactly the consoles and subgroup leaders that authorize
+it. The contract: the move either completes or is retried at a later tick
+(``Autoscaler._move`` treats a mid-failover GSC as "not now", never as
+"crash"), no invariant is violated, and the request plane neither loses
+nor duplicates a single request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.traffic import run_traffic_case
+
+#: load high enough that the autoscaler must move *during* the kill window
+RACE = dict(mix="leader", duration=30.0, rate=120.0, n_users=100_000)
+
+
+@pytest.fixture(scope="module")
+def race_row():
+    return run_traffic_case(case=0, seed=3, **RACE)
+
+
+def test_moves_really_race_the_leader_kills(race_row):
+    """The scenario is only a regression test if both sides actually
+    fire: several leader kills and several autoscaler moves inside the
+    same 30-second window."""
+    assert race_row["faults"].get("leader_kill", 0) >= 3
+    assert race_row["moves"]["grow"] >= 1
+    assert race_row["moves"]["total"] >= 2
+
+
+def test_no_invariant_violation_under_the_race(race_row):
+    assert race_row["violations"] == []
+    assert race_row["checks"]["single_leader"] > 0
+    assert race_row["checks"]["no_lost_adapter"] > 0
+    # the headline number survives: violations would zero it
+    assert race_row["moves_per_hour"] > 0.0
+
+
+def test_no_lost_or_duplicated_requests(race_row):
+    """Exact request accounting: every issued request resolves exactly
+    once (completed or failed) by the end of the settle window, and a
+    completion is only counted when its in-flight entry is popped — a
+    duplicate response after failover cannot double-count."""
+    totals = race_row["requests"]
+    assert totals["issued"] > 0
+    assert totals["completed"] + totals["failed"] == totals["issued"]
+    per_domain = race_row["domains"]
+    for name, d in per_domain.items():
+        assert d["completed"] + d["failed"] == d["issued"], name
+        assert d["completed"] <= d["issued"]
+    # chaos costs a little availability, never the service
+    assert 0.95 < race_row["availability"] <= 1.0
+
+
+def test_race_case_is_deterministic(race_row):
+    import json
+
+    again = run_traffic_case(case=0, seed=3, **RACE)
+    assert json.dumps(again, sort_keys=True) == json.dumps(race_row, sort_keys=True)

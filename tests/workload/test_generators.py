@@ -1,0 +1,231 @@
+"""Statistical verification of the request generators.
+
+The traffic plane's SLO numbers mean nothing if the generated workload is
+not what it claims to be, so this suite tests the *distributions*, not
+just the plumbing: a Kolmogorov–Smirnov test on the Poisson interarrivals,
+a log–log rank–frequency regression on the Zipf popularity, and thinning
+proportionality against the rate profile. All of it is seed-deterministic
+(fixed generators from :func:`default_streams`), so the acceptance bands
+are exact reruns, not flaky statistics.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.workload.generators import (
+    RequestStream,
+    TruncatedZipf,
+    default_streams,
+)
+from repro.workload.profiles import DiurnalProfile
+
+
+def take(stream, n):
+    return list(itertools.islice(iter(stream), n))
+
+
+# ----------------------------------------------------------------------
+# TruncatedZipf
+# ----------------------------------------------------------------------
+def test_zipf_pmf_is_a_normalized_decreasing_law():
+    z = TruncatedZipf(1000, alpha=0.9)
+    pmf = [z.pmf(r) for r in range(1, 1001)]
+    assert sum(pmf) == pytest.approx(1.0)
+    assert all(a >= b for a, b in zip(pmf, pmf[1:]))
+    # the exact power law, not merely "decreasing"
+    assert z.pmf(1) / z.pmf(2) == pytest.approx(2.0**0.9)
+
+
+def test_zipf_draws_cover_the_range_and_only_the_range():
+    rng = np.random.default_rng(3)
+    z = TruncatedZipf(50, alpha=0.7)
+    ranks = z.draws(20_000, rng)
+    assert ranks.min() >= 1 and ranks.max() <= 50
+    assert len(np.unique(ranks)) == 50  # finite catalogue fully exercised
+
+
+def test_zipf_rank_frequency_slope_matches_alpha():
+    """Empirical log(frequency) vs log(rank) regresses to slope ≈ -alpha."""
+    alpha = 0.8
+    rng = np.random.default_rng(11)
+    z = TruncatedZipf(500, alpha=alpha)
+    ranks = z.draws(400_000, rng)
+    counts = np.bincount(ranks, minlength=501)[1:]
+    top = np.arange(1, 51)  # head of the law: counts large, truncation far
+    slope, _, rvalue, _, _ = stats.linregress(
+        np.log(top), np.log(counts[:50])
+    )
+    assert slope == pytest.approx(-alpha, abs=0.05)
+    assert rvalue**2 > 0.99
+
+
+def test_zipf_scalar_draw_agrees_with_vectorized_distribution():
+    z = TruncatedZipf(20, alpha=0.9, rng=np.random.default_rng(5))
+    scalar = np.array([z.draw() for _ in range(50_000)])
+    expected = np.array([z.pmf(r) for r in range(1, 21)])
+    observed = np.bincount(scalar, minlength=21)[1:] / len(scalar)
+    assert np.abs(observed - expected).max() < 0.01
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        TruncatedZipf(0)
+    with pytest.raises(ValueError):
+        TruncatedZipf(10, alpha=-0.1)
+    with pytest.raises(ValueError):
+        TruncatedZipf(10).draw()  # no rng bound
+
+
+# ----------------------------------------------------------------------
+# RequestStream — arrival process
+# ----------------------------------------------------------------------
+def test_interarrivals_are_exponential_ks():
+    """Flat profile at the peak → homogeneous Poisson: KS vs Exp(rate)."""
+    rate = 50.0
+    ev = take(RequestStream(["acme"], base_rate=rate, rngs=default_streams(1)),
+              5000)
+    times = np.array([e.time for e in ev])
+    gaps = np.diff(times)
+    d, p = stats.kstest(gaps, "expon", args=(0, 1.0 / rate))
+    assert p > 0.01, f"KS rejected exponential interarrivals (D={d:.4f}, p={p:.4f})"
+    # and the realized rate is the nominal one
+    assert len(times) / times[-1] == pytest.approx(rate, rel=0.05)
+
+
+def test_interarrival_count_is_poisson_dispersed():
+    """Counts per unit window: variance ≈ mean (index of dispersion ≈ 1)."""
+    ev = take(RequestStream(["acme"], base_rate=40.0, rngs=default_streams(2)),
+              20_000)
+    times = np.array([e.time for e in ev])
+    counts = np.bincount(times.astype(int))[: int(times[-1])]
+    dispersion = counts.var() / counts.mean()
+    # ~500 windows: the index's sampling sd is ~sqrt(2/500) ≈ 0.063
+    assert 0.8 < dispersion < 1.2
+
+
+def test_thinning_tracks_the_profile():
+    """A 4:1 two-level profile yields a 4:1 arrival-count ratio."""
+    def profile(domain, t):
+        return 1.0 if t % 20.0 < 10.0 else 0.25
+
+    stream = RequestStream(
+        ["acme"], base_rate=60.0, duration=200.0, profile=profile,
+        peak_factor=1.0, rngs=default_streams(3),
+    )
+    times = np.array([e.time for e in stream])
+    high = np.sum(times % 20.0 < 10.0)
+    low = len(times) - high
+    assert high / low == pytest.approx(4.0, rel=0.15)
+
+
+def test_diurnal_modulation_shifts_mass_into_the_peak():
+    prof = DiurnalProfile(period=100.0, trough=0.2)
+    stream = RequestStream(
+        ["acme"], base_rate=80.0, duration=300.0, profile=prof,
+        peak_factor=prof.peak, rngs=default_streams(4),
+    )
+    times = np.array([e.time for e in stream])
+    phase = times % 100.0
+    # peak is at half-period, trough at 0/period
+    peak_mass = np.sum((phase > 35.0) & (phase < 65.0))
+    trough_mass = np.sum((phase < 15.0) | (phase > 85.0))
+    expected = (prof("acme", 50.0)) / (prof("acme", 5.0))
+    assert peak_mass / trough_mass == pytest.approx(expected, rel=0.25)
+
+
+def test_profile_exceeding_peak_factor_raises():
+    stream = RequestStream(
+        ["acme"], base_rate=10.0, profile=lambda d, t: 2.0,
+        peak_factor=1.0, rngs=default_streams(5),
+    )
+    with pytest.raises(ValueError, match="peak_factor"):
+        take(stream, 10)
+
+
+# ----------------------------------------------------------------------
+# RequestStream — popularity and bounds
+# ----------------------------------------------------------------------
+def test_domain_shares_follow_zipf_weights():
+    domains = ["a", "b", "c", "d"]
+    ev = take(RequestStream(domains, base_rate=100.0, domain_alpha=0.8,
+                            rngs=default_streams(6)), 40_000)
+    z = TruncatedZipf(4, alpha=0.8)
+    observed = {d: 0 for d in domains}
+    for e in ev:
+        observed[e.domain] += 1
+    for rank, d in enumerate(domains, start=1):
+        assert observed[d] / len(ev) == pytest.approx(z.pmf(rank), abs=0.01)
+
+
+def test_user_popularity_is_zipf_over_the_population():
+    ev = take(RequestStream(["acme"], base_rate=100.0, n_users=1000,
+                            user_alpha=1.0, rngs=default_streams(7)), 50_000)
+    users = np.array([e.user for e in ev])
+    assert users.min() >= 1 and users.max() <= 1000
+    z = TruncatedZipf(1000, alpha=1.0)
+    top1 = np.mean(users == 1)
+    assert top1 == pytest.approx(z.pmf(1), rel=0.1)
+
+
+def test_duration_bounds_the_stream():
+    ev = list(RequestStream(["acme"], base_rate=30.0, duration=10.0,
+                            rngs=default_streams(8)))
+    assert ev, "empty stream"
+    assert all(e.time < 10.0 for e in ev)
+    assert len(ev) == pytest.approx(300, rel=0.2)
+
+
+def test_million_user_stream_is_lazy():
+    """A million-user stream yields immediately — nothing precomputed per
+    event beyond the one-time CDF table."""
+    stream = RequestStream(["acme"], base_rate=1000.0, n_users=1_000_000,
+                           rngs=default_streams(9))
+    first = next(iter(stream))
+    assert first.time > 0.0 and 1 <= first.user <= 1_000_000
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        RequestStream([], base_rate=10.0)
+    with pytest.raises(ValueError):
+        RequestStream(["a"], base_rate=0.0)
+    with pytest.raises(ValueError):
+        RequestStream(["a"], base_rate=10.0, peak_factor=0.0)
+    rngs = default_streams(0)
+    del rngs["users"]
+    with pytest.raises(ValueError, match="users"):
+        RequestStream(["a"], base_rate=10.0, rngs=rngs)
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None, derandomize=True)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_same_seed_same_stream(seed):
+    a = take(RequestStream(["a", "b"], base_rate=50.0, seed=seed), 300)
+    b = take(RequestStream(["a", "b"], base_rate=50.0, seed=seed), 300)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = take(RequestStream(["a"], base_rate=50.0, seed=0), 100)
+    b = take(RequestStream(["a"], base_rate=50.0, seed=1), 100)
+    assert a != b
+
+
+def test_default_streams_are_independent_per_purpose():
+    s = default_streams(42)
+    assert set(s) == {"arrivals", "domains", "users"}
+    draws = {name: rng.random(8).tolist() for name, rng in s.items()}
+    assert draws["arrivals"] != draws["domains"] != draws["users"]
+    # and stable: the same seed rebuilds the same three bit streams
+    again = {n: r.random(8).tolist() for n, r in default_streams(42).items()}
+    assert draws == again

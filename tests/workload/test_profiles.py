@@ -1,0 +1,77 @@
+"""Rate profiles: diurnal shape, flash crowds, the Océano sinusoid."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.workload.profiles import DiurnalProfile, DomainLoadModel, SpikeSchedule
+
+
+def test_diurnal_bounds_and_extremes():
+    p = DiurnalProfile(period=100.0, trough=0.3)
+    values = [p("d", t) for t in range(0, 200, 5)]
+    assert all(0.3 <= v <= 1.0 + 1e-12 for v in values)
+    assert p("d", 0.0) == pytest.approx(0.3)      # overnight trough
+    assert p("d", 50.0) == pytest.approx(1.0)     # midday peak
+    assert p("d", 100.0) == pytest.approx(0.3)    # periodic
+    assert p.peak == 1.0
+
+
+def test_diurnal_stagger_separates_domain_peaks():
+    p = DiurnalProfile(period=100.0, trough=0.2, domains=["a", "b"], stagger=True)
+    # b's phase is π: its peak lands on a's trough
+    assert p("a", 50.0) == pytest.approx(1.0)
+    assert p("b", 50.0) == pytest.approx(0.2)
+    assert p("b", 0.0) == pytest.approx(1.0)
+    # an unknown domain falls back to phase 0
+    assert p("zzz", 0.0) == pytest.approx(0.2)
+
+
+def test_diurnal_validation():
+    with pytest.raises(ValueError):
+        DiurnalProfile(trough=1.5)
+    with pytest.raises(ValueError):
+        DiurnalProfile(period=0.0)
+
+
+def test_spike_schedule_window():
+    s = SpikeSchedule({"a": (10.0, 5.0, 300.0)})
+    assert s.extra("a", 9.9) == 0.0
+    assert s.extra("a", 10.0) == 300.0
+    assert s.extra("a", 14.9) == 300.0
+    assert s.extra("a", 15.0) == 0.0
+    assert s.extra("b", 12.0) == 0.0
+
+
+def test_domain_load_model_exact_numerics():
+    """The model carries the historical SyntheticWorkload formula exactly."""
+    m = DomainLoadModel(["a", "b"], base=100.0, amplitude=80.0, period=120.0)
+    for i, d in enumerate(["a", "b"]):
+        phase = 2 * math.pi * i / 2
+        for t in (0.0, 13.0, 61.5, 200.0):
+            expected = max(
+                0.0, 100.0 + 80.0 * math.sin(2 * math.pi * t / 120.0 + phase)
+            )
+            assert m.load(d, t) == expected
+
+
+def test_domain_load_model_clamps_at_zero():
+    m = DomainLoadModel(["a"], base=10.0, amplitude=100.0, period=40.0)
+    assert m.load("a", 30.0) == 0.0  # sin at -1: 10 - 100 clamps
+
+
+def test_as_profile_is_the_normalized_load():
+    m = DomainLoadModel(["a", "b"], base=50.0, amplitude=25.0, period=60.0,
+                        spikes={"a": (5.0, 2.0, 100.0)})
+    profile = m.as_profile()
+    for t in (0.0, 6.0, 31.0):
+        assert profile("a", t) == pytest.approx(m.load("a", t) / 50.0)
+    # peak_factor bounds the profile everywhere (thinning's contract)
+    peak = m.peak_factor
+    assert peak == pytest.approx((50.0 + 25.0 + 100.0) / 50.0)
+    assert all(
+        profile(d, t / 10.0) <= peak + 1e-12
+        for d in ("a", "b") for t in range(0, 1200)
+    )

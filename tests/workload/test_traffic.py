@@ -1,0 +1,224 @@
+"""The traffic plane end to end: cases, campaigns, and the SLO report.
+
+The byte-identity contract under test: one traffic case is the same row
+at any worker layout (``--jobs`` for cases, ``--shards`` for islands —
+the shard half lives in ``tests/integration/test_shard_equivalence.py``),
+and the folded report is canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workload.traffic import (
+    TRAFFIC_START,
+    build_traffic_farm,
+    build_traffic_report,
+    render_traffic_report,
+    run_traffic_campaign,
+    run_traffic_case,
+    traffic_horizon,
+    write_report,
+)
+
+#: small-but-live case: the autoscaler must actually move under it
+CASE = dict(duration=30.0, rate=120.0, n_users=100_000)
+QUICK = dict(duration=15.0, rate=80.0, n_users=50_000)
+
+
+def canon(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# one case
+# ----------------------------------------------------------------------
+def test_case_shape_and_slo_accounting():
+    row = run_traffic_case(case=0, seed=7, **QUICK)
+    assert row["requests"]["issued"] > 0
+    per_domain = row["domains"]
+    assert set(per_domain) == {"alpha", "bravo"}
+    issued = sum(d["issued"] for d in per_domain.values())
+    assert issued == row["requests"]["issued"]
+    # fe_arrivals >= issued: retries re-arrive at front ends
+    total_arrivals = sum(d["fe_arrivals"] for d in per_domain.values())
+    assert total_arrivals >= row["requests"]["completed"]
+    assert 0.0 <= row["availability"] <= 1.0
+    assert row["latency"]["p50"] <= row["latency"]["p90"] <= row["latency"]["p99"]
+    assert row["checks"]["membership_agreement"] > 0
+    assert row["n_islands"] == 2
+    assert row["cross_messages"] > 0
+    assert "shards" not in row  # layout must never leak into the row
+
+
+def test_quiet_farm_meets_full_availability():
+    row = run_traffic_case(case=0, seed=7, **QUICK)
+    assert row["availability"] == 1.0
+    assert row["requests"]["failed"] == 0
+    assert row["violations"] == []
+
+
+def test_autoscaler_moves_under_load_and_counts_them():
+    row = run_traffic_case(case=0, seed=0, **CASE)
+    assert row["moves"]["grow"] >= 1
+    assert row["moves"]["total"] == row["moves"]["grow"] + row["moves"]["shrink"]
+    assert row["moves_per_hour"] == pytest.approx(
+        row["moves"]["total"] * 3600.0 / CASE["duration"]
+    )
+
+
+def test_case_is_deterministic():
+    a = run_traffic_case(case=0, seed=3, **QUICK)
+    b = run_traffic_case(case=0, seed=3, **QUICK)
+    assert canon(a) == canon(b)
+
+
+def test_chaos_case_keeps_invariants_and_reports_faults():
+    row = run_traffic_case(case=0, seed=3, mix="mixed", duration=20.0,
+                           rate=80.0, n_users=50_000)
+    assert sum(row["faults"].values()) >= 6
+    assert row["violations"] == []
+    assert row["checks"]["single_leader"] > 0
+    # chaos costs availability but the service survives
+    assert 0.9 < row["availability"] <= 1.0
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(ValueError, match="unknown mix"):
+        build_traffic_farm(mix="nosuch")
+
+
+# ----------------------------------------------------------------------
+# the ambient profile shape
+# ----------------------------------------------------------------------
+def test_profile_shape_changes_the_stream(monkeypatch):
+    """$GULFSTREAM_WORKLOAD_PROFILE is ambient state that really changes
+    results — the reason the result cache must key on it."""
+    monkeypatch.delenv("GULFSTREAM_WORKLOAD_PROFILE", raising=False)
+    diurnal = run_traffic_case(case=0, seed=7, **QUICK)
+    monkeypatch.setenv("GULFSTREAM_WORKLOAD_PROFILE", "flat")
+    flat = run_traffic_case(case=0, seed=7, **QUICK)
+    assert canon(diurnal) != canon(flat)
+    # flat holds every domain at full rate for the whole window, so it
+    # strictly outproduces the diurnal wave (trough 0.25)
+    assert flat["requests"]["issued"] > diurnal["requests"]["issued"]
+
+
+def test_unknown_profile_rejected(monkeypatch):
+    monkeypatch.setenv("GULFSTREAM_WORKLOAD_PROFILE", "nosuch")
+    with pytest.raises(ValueError, match="unknown workload profile"):
+        build_traffic_farm()
+
+
+def test_traffic_horizon_covers_stream_and_settle():
+    assert traffic_horizon(30.0, None) == pytest.approx(TRAFFIC_START + 30.0 + 11.0)
+    # a chaos mix settles on the monitor's window, which is longer
+    assert traffic_horizon(30.0, "mixed") > traffic_horizon(30.0, None)
+
+
+# ----------------------------------------------------------------------
+# the campaign
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_campaign_rows_identical_at_any_jobs():
+    kw = dict(cases=3, base_seed=0, duration=15.0, rate=80.0, n_users=50_000)
+    inline = run_traffic_campaign(jobs=1, **kw)
+    pooled = run_traffic_campaign(jobs=2, **kw)
+    assert canon(inline) == canon(pooled)
+
+
+def test_campaign_seeds_cases_independently():
+    rows = run_traffic_campaign(cases=2, jobs=1, **QUICK)
+    assert [r["case"] for r in rows] == [0, 1]
+    assert rows[0]["seed"] != rows[1]["seed"]
+    assert canon(rows[0]["requests"]) != canon(rows[1]["requests"])
+
+
+def test_replicates_are_whole_independent_rows():
+    """--replicates repeats each case with fresh seeds as a second grid
+    axis — whole SLO rows, never the sweep fabric's mean/_sd collapse
+    (which would average seeds and keep only the first nested dict)."""
+    rows = run_traffic_campaign(cases=2, replicates=2, jobs=1, **QUICK)
+    assert [(r["case"], r["rep"]) for r in rows] == [(0, 0), (0, 1), (1, 0), (1, 1)]
+    assert len({r["seed"] for r in rows}) == 4
+    assert canon(rows[0]["requests"]) != canon(rows[1]["requests"])
+    for r in rows:  # structured fields survive whole
+        assert isinstance(r["requests"], dict)
+        assert "requests_sd" not in r
+
+    report = build_traffic_report(rows, base_seed=0)
+    assert report["campaign"]["cases"] == 2
+    assert report["campaign"]["replicates"] == 2
+    assert report["requests"]["issued"] == sum(r["requests"]["issued"] for r in rows)
+
+
+def test_replicates_must_be_positive():
+    with pytest.raises(ValueError, match="replicates"):
+        run_traffic_campaign(cases=1, replicates=0, **QUICK)
+
+
+# ----------------------------------------------------------------------
+# the report
+# ----------------------------------------------------------------------
+def _row(case, violations=(), moves=5, issued=1000, completed=990):
+    return {
+        "case": case,
+        "seed": 100 + case,
+        "mix": None,
+        "duration": 30.0,
+        "stable_time": 9.0,
+        "requests": {"issued": issued, "completed": completed,
+                     "failed": issued - completed, "retried": 3},
+        "availability": completed / issued,
+        "latency": {"p50": 0.04, "p90": 0.05, "p99": 0.06 + case, "mean": 0.045},
+        "domains": {},
+        "moves": {"grow": moves, "shrink": 0, "total": moves},
+        "moves_per_hour": moves * 120.0,
+        "checks": {"single_leader": 10, "membership_agreement": 20},
+        "waived": 1,
+        "violations": list(violations),
+        "faults": {"crash": 2},
+        "n_islands": 2,
+        "cross_messages": 50,
+    }
+
+
+def test_report_folds_rows():
+    report = build_traffic_report([_row(0), _row(1)], base_seed=0)
+    assert report["requests"]["issued"] == 2000
+    assert report["slo"]["availability"] == pytest.approx(0.99)
+    assert report["slo"]["latency_worst"]["p99"] == pytest.approx(1.06)
+    assert report["moves"]["total"] == 10
+    assert report["moves_per_hour_sustained"] == pytest.approx(10 * 3600.0 / 60.0)
+    assert report["checks"]["single_leader"] == 20
+    assert report["faults_injected"] == {"crash": 4}
+    assert report["obligations_waived"] == 2
+    assert report["ok"] is True
+
+
+def test_any_violation_zeroes_the_headline_number():
+    bad = _row(1, violations=[{"time": 31.0, "invariant": "single_leader",
+                               "subject": "vlan-20", "detail": "two leaders"}])
+    report = build_traffic_report([_row(0), bad], base_seed=0)
+    assert report["ok"] is False
+    assert report["moves_per_hour_sustained"] == 0.0
+    assert report["violations"][0]["case"] == 1
+    assert "VIOLATIONS" in render_traffic_report(report)
+
+
+def test_report_is_canonical_json(tmp_path):
+    report = build_traffic_report([_row(0)], base_seed=0)
+    path = tmp_path / "slo.json"
+    assert write_report(report, path) == path
+    text = path.read_text()
+    assert text == json.dumps(report, indent=2, sort_keys=True) + "\n"
+    assert json.loads(text) == report
+
+
+def test_render_mentions_the_slos():
+    out = render_traffic_report(build_traffic_report([_row(0)], base_seed=0))
+    assert "availability" in out
+    assert "moves/hour sustained" in out
+    assert "no invariant violations" in out
